@@ -1,0 +1,55 @@
+// A1 (ablation): spine-index choice — pointer walks vs LCT vs RC tree —
+// for each update algorithm on the height-h family. Quantifies the
+// index-maintenance overhead the paper's sequential Thm 1.1 algorithm
+// avoids, and what the output-sensitive algorithms buy in exchange.
+#include "bench_util.hpp"
+#include "dynsld/dyn_sld.hpp"
+#include "graph/generators.hpp"
+
+using namespace dynsld;
+using bench::Timer;
+
+namespace {
+
+const char* index_name(SpineIndex s) {
+  switch (s) {
+    case SpineIndex::kPointer:
+      return "ptr";
+    case SpineIndex::kLct:
+      return "lct";
+    default:
+      return "rc";
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::header("A1", "ablation: spine index (ptr / lct / rc) per algorithm");
+  bench::row("%6s %8s %-10s %12s %12s", "index", "h", "algo", "ins_us", "del_us");
+  for (vertex_id h : {1u << 8, 1u << 11}) {
+    gen::Forest f = gen::lower_bound_stars(h, 4);
+    for (SpineIndex idx :
+         {SpineIndex::kPointer, SpineIndex::kLct, SpineIndex::kRc}) {
+      for (int algo = 0; algo < 2; ++algo) {
+        if (algo == 1 && idx == SpineIndex::kPointer) continue;  // needs index
+        DynSLD s(f.n, idx);
+        for (const auto& e : f.edges) s.insert(e.u, e.v, e.weight);
+        const int reps = idx == SpineIndex::kRc ? 5 : 20;
+        double ins = 0, del = 0;
+        for (int r = 0; r < reps; ++r) {
+          Timer ti;
+          edge_id e = algo == 0 ? s.insert(0, h + 1, 0.0)
+                                : s.insert_output_sensitive(0, h + 1, 0.0);
+          ins += ti.us();
+          Timer td;
+          s.erase(e);
+          del += td.us();
+        }
+        bench::row("%6s %8u %-10s %12.1f %12.1f", index_name(idx), h,
+                   algo == 0 ? "walk" : "out_sens", ins / reps, del / reps);
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,96 @@
+// E5 (Theorem 1.5): batch updates vs k single updates vs static rebuild.
+//
+// Workload: a random forest of many components; a batch of k edges
+// joining components (acyclic). Batch deletion removes the same k.
+//
+// Expected shape: batch cost grows sublinearly vs k singles (shared
+// spines/connectivity), and both dynamic paths beat a full static
+// rebuild until k·h work approaches n log n.
+#include "bench_util.hpp"
+#include "dendrogram/static_sld.hpp"
+#include "dynsld/dyn_sld.hpp"
+#include "graph/generators.hpp"
+#include "parallel/random.hpp"
+
+using namespace dynsld;
+using bench::Timer;
+
+namespace {
+
+struct Workload {
+  vertex_id n;
+  gen::Forest base;                       // many components
+  std::vector<DynSLD::EdgeInsert> batch;  // k joining edges
+};
+
+Workload make(vertex_id n, size_t k, uint64_t seed) {
+  Workload w;
+  w.n = n;
+  // k+1 components so k joining edges keep it a forest.
+  w.base = gen::random_forest(n, static_cast<vertex_id>(k + 1), seed);
+  // Discover components, then chain them with k edges.
+  UnionFind uf(n);
+  for (const auto& e : w.base.edges) uf.unite(e.u, e.v);
+  std::vector<vertex_id> reps;
+  std::vector<char> seen(n, 0);
+  for (vertex_id v = 0; v < n; ++v) {
+    vertex_id r = uf.find(v);
+    if (!seen[r]) {
+      seen[r] = 1;
+      reps.push_back(v);
+    }
+  }
+  par::Rng rng(seed + 5);
+  for (size_t i = 0; i + 1 < reps.size() && w.batch.size() < k; ++i) {
+    w.batch.push_back({reps[i], reps[i + 1],
+                       static_cast<double>(rng.next_bounded(1u << 30))});
+  }
+  return w;
+}
+
+}  // namespace
+
+int main() {
+  bench::header("E5", "batch insert/delete vs k singles vs static rebuild (Thm 1.5)");
+  bench::row("%8s %9s %14s %14s %14s %14s", "k", "n", "batch_ins_ms",
+             "single_ins_ms", "batch_del_ms", "static_ms");
+  const vertex_id n = 1 << 14;
+  for (size_t k : {1u, 8u, 64u, 512u, 4096u}) {
+    Workload w = make(n, k, 1);
+    if (w.batch.size() < k) break;
+
+    // Batch insert.
+    DynSLD sb(n, SpineIndex::kPointer);
+    for (const auto& e : w.base.edges) sb.insert(e.u, e.v, e.weight);
+    Timer tb;
+    auto ids = sb.insert_batch(w.batch);
+    double batch_ins = tb.ms();
+
+    // Batch delete of the same edges.
+    Timer td;
+    sb.erase_batch(ids);
+    double batch_del = td.ms();
+
+    // k single inserts.
+    DynSLD ss(n, SpineIndex::kPointer);
+    for (const auto& e : w.base.edges) ss.insert(e.u, e.v, e.weight);
+    Timer t1;
+    for (const auto& e : w.batch) ss.insert(e.u, e.v, e.weight);
+    double single_ins = t1.ms();
+
+    // Static rebuild of base + batch.
+    auto all = w.base.edges;
+    for (const auto& e : w.batch) {
+      all.push_back(WeightedEdge{e.u, e.v, e.weight,
+                                 static_cast<edge_id>(all.size())});
+    }
+    Timer ts;
+    Dendrogram d = build_kruskal(n, all);
+    double stat = ts.ms();
+    (void)d;
+
+    bench::row("%8zu %9u %14.2f %14.2f %14.2f %14.2f", k, n, batch_ins,
+               single_ins, batch_del, stat);
+  }
+  return 0;
+}

@@ -1,0 +1,61 @@
+// E7 (§6.2): dynamic Cartesian trees — worst-case O(log n) appends and
+// arbitrary updates vs full stack rebuild, plus RMQ throughput.
+//
+// Expected shape: per-append cost is ~flat in n (worst-case O(log n),
+// improving the amortized bounds of Demaine et al.); rebuild grows
+// linearly; RMQ is logarithmic.
+#include "bench_util.hpp"
+#include "cartesian/cartesian_tree.hpp"
+#include "graph/generators.hpp"
+#include "parallel/random.hpp"
+
+using namespace dynsld;
+using bench::Timer;
+
+int main() {
+  bench::header("E7", "dynamic Cartesian trees vs rebuild (§6.2)");
+  bench::row("%9s %12s %12s %12s %12s", "n", "append_us", "splice_us",
+             "rebuild_ms", "rmq_us");
+  par::Rng rng(8);
+  for (size_t n : {1u << 10, 1u << 13, 1u << 16}) {
+    std::vector<double> values(n);
+    for (size_t i = 0; i < n; ++i) {
+      values[i] = static_cast<double>(par::hash64(i) % (1u << 30));
+    }
+    CartesianTree t(n + 4096);
+    Timer ta;
+    for (double v : values) t.push_back(v);
+    double append_us = ta.us() / static_cast<double>(n);
+
+    // Arbitrary splices (insert_after + erase at random positions).
+    auto seq = t.in_order();
+    const int reps = 200;
+    Timer tspl;
+    for (int r = 0; r < reps; ++r) {
+      auto h = seq[rng.next_bounded(seq.size())];
+      if (!t.tree().alive(h)) continue;  // handle was reassigned earlier
+      auto fresh = t.insert_after(h, static_cast<double>(rng.next_bounded(1u << 30)));
+      t.erase(fresh);
+    }
+    double splice_us = tspl.us() / reps;
+
+    Timer tr;
+    auto parents = build_cartesian_parents(values);
+    double rebuild_ms = tr.ms();
+    (void)parents;
+
+    seq = t.in_order();
+    Timer tq;
+    for (int r = 0; r < reps; ++r) {
+      size_t a = rng.next_bounded(seq.size());
+      size_t b = rng.next_bounded(seq.size());
+      if (a > b) std::swap(a, b);
+      t.range_max(seq[a], seq[b]);
+    }
+    double rmq_us = tq.us() / reps;
+
+    bench::row("%9zu %12.2f %12.2f %12.2f %12.2f", n, append_us, splice_us,
+               rebuild_ms, rmq_us);
+  }
+  return 0;
+}

@@ -1,0 +1,59 @@
+// E8 (Problem 2 / §7): end-to-end fully-dynamic single-linkage
+// clustering of a dynamic graph — MSF maintenance + explicit dendrogram
+// after every update, with interleaved threshold/size queries.
+//
+// Workload: random geometric graph edge stream (insert all, then churn
+// delete/insert), the motivating setting of the intro (point sets whose
+// similarity graph evolves).
+#include <cmath>
+
+#include "bench_util.hpp"
+#include "graph/generators.hpp"
+#include "msf/dynamic_msf.hpp"
+#include "parallel/random.hpp"
+
+using namespace dynsld;
+using bench::Timer;
+
+int main() {
+  bench::header("E8", "end-to-end dynamic clustering pipeline (Problem 2)");
+  bench::row("%7s %9s %12s %12s %12s %10s", "n", "m", "build_ms", "churn_us",
+             "query_us", "height");
+  for (vertex_id n : {256u, 512u, 1024u}) {
+    gen::Graph g = gen::random_geometric(n, 3.0 / std::sqrt(double(n)), 5);
+    DynamicClustering dc(n);
+    struct Live {
+      vertex_id u, v;
+      double w;
+      uint32_t h;
+    };
+    std::vector<Live> live;
+    Timer tb;
+    for (const auto& e : g.edges) {
+      live.push_back({e.u, e.v, e.weight, dc.insert_edge(e.u, e.v, e.weight)});
+    }
+    double build_ms = tb.ms();
+
+    par::Rng rng(6);
+    const int reps = 300;
+    Timer tc;
+    for (int r = 0; r < reps; ++r) {
+      Live& e = live[rng.next_bounded(live.size())];
+      dc.erase_edge(e.h);
+      e.h = dc.insert_edge(e.u, e.v, e.w);
+    }
+    double churn_us = tc.us() / reps;
+
+    Timer tq;
+    for (int r = 0; r < reps; ++r) {
+      vertex_id u = static_cast<vertex_id>(rng.next_bounded(n));
+      dc.sld().cluster_size(u, 0.08);
+      dc.sld().same_cluster(u, static_cast<vertex_id>(rng.next_bounded(n)), 0.08);
+    }
+    double query_us = tq.us() / reps;
+
+    bench::row("%7u %9zu %12.2f %12.2f %12.2f %10zu", n, g.edges.size(),
+               build_ms, churn_us, query_us, dc.dendrogram().height());
+  }
+  return 0;
+}

@@ -1,0 +1,77 @@
+// E2 (Theorem 1.2): output-sensitive insertion cost scales with c, the
+// number of structural changes, not with h.
+//
+// Workloads on a height-h chain (increasing path), all with h >> c:
+//   - "leaf append": c = O(1) per insertion,
+//   - "mid splice":  insert an edge whose rank lands mid-spine (small c),
+//   - "full interleave": the Thm 5.1 star join, c = Theta(h).
+// Each is timed with the O(h) walk-merge (Thm 1.1) and the
+// O(c log(1+n/c)) PWS-alternation merge (Thm 1.2, LCT spine index).
+//
+// Expected shape: for c = O(1) the OS algorithm is ~independent of h
+// while the walk grows linearly; for c = Theta(h) both grow and the
+// walk's lower constant wins — matching the theory's crossover.
+#include "bench_util.hpp"
+#include "dynsld/dyn_sld.hpp"
+#include "graph/generators.hpp"
+#include "parallel/stats.hpp"
+
+using namespace dynsld;
+using bench::Timer;
+
+namespace {
+
+/// Time one insert+undo cycle with each algorithm on a fresh structure.
+void run_case(const char* name, vertex_id h, bool interleave) {
+  // Build either one chain of height h (append/splice cases) or the
+  // 2-star lower-bound instance (interleave case).
+  for (int os = 0; os <= 1; ++os) {
+    DynSLD s(2 * h + 4, os ? SpineIndex::kLct : SpineIndex::kPointer);
+    vertex_id u, v;
+    double w;
+    if (!interleave) {
+      gen::Forest f = gen::path(h + 1, gen::Weights::kIncreasing);
+      for (const auto& e : f.edges) s.insert(e.u, e.v, e.weight);
+      u = h;  // path end
+      v = h + 1;
+      w = 1e12;  // leaf append: c = O(1)
+    } else {
+      gen::Forest f = gen::lower_bound_stars(h, 2);
+      for (const auto& e : f.edges) s.insert(e.u, e.v, e.weight);
+      u = 0;
+      v = h + 1;
+      w = 0.0;  // star join: c = Theta(h)
+    }
+    const int reps = 50;
+    double us = 0;
+    uint64_t c = 0, pws = 0;
+    for (int r = 0; r < reps; ++r) {
+      stats::counters().reset();
+      Timer t;
+      edge_id e = os ? s.insert_output_sensitive(u, v, w) : s.insert(u, v, w);
+      us += t.us();
+      c += stats::counters().pointer_writes.load();
+      pws += stats::counters().pws_queries.load();
+      s.erase(e);
+    }
+    bench::row("%-16s %8u %6s %10.2f %10llu %10llu", name, h,
+               os ? "os" : "walk", us / reps,
+               static_cast<unsigned long long>(c / reps),
+               static_cast<unsigned long long>(pws / reps));
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::header("E2", "output-sensitive insertion: cost tracks c, not h (Thm 1.2)");
+  bench::row("%-16s %8s %6s %10s %10s %10s", "workload", "h", "algo", "us/op",
+             "c", "pws");
+  for (vertex_id h : {1u << 8, 1u << 10, 1u << 12, 1u << 14}) {
+    run_case("leaf_append", h, /*interleave=*/false);
+  }
+  for (vertex_id h : {1u << 8, 1u << 10, 1u << 12}) {
+    run_case("star_interleave", h, /*interleave=*/true);
+  }
+  return 0;
+}

@@ -1,0 +1,68 @@
+// E3/E4 (Theorems 1.3/1.4): parallel single-update algorithms.
+//
+// NOTE: this container exposes a single hardware thread, so wall-clock
+// "speedup" here measures scheduler overhead, not scaling (see
+// EXPERIMENTS.md). The experiment therefore reports, per algorithm,
+// both time and the machine-independent work proxies; the parallel
+// algorithms must match the sequential ones' work shape while being
+// expressed as fork-join + primitive calls.
+#include "bench_util.hpp"
+#include "dynsld/dyn_sld.hpp"
+#include "graph/generators.hpp"
+#include "parallel/par.hpp"
+#include "parallel/stats.hpp"
+
+using namespace dynsld;
+using bench::Timer;
+
+int main() {
+  bench::header("E3/E4", "parallel update algorithms (work shape; 1-core box)");
+  bench::row("%-12s %8s %7s %10s %10s %10s", "algo", "h", "thr", "ins_us",
+             "del_us", "ptr_chgs");
+  for (vertex_id h : {1u << 10, 1u << 13}) {
+    for (int threads : {1, 2, 4}) {
+      par::set_num_workers(threads);
+      gen::Forest f = gen::lower_bound_stars(h, 4);
+      struct Algo {
+        const char* name;
+        int kind;  // 0 walk/seq, 1 parallel, 2 parallel-OS
+      };
+      for (Algo algo : {Algo{"seq", 0}, Algo{"parallel", 1}, Algo{"par_os", 2}}) {
+        DynSLD s(f.n, algo.kind == 0 ? SpineIndex::kPointer : SpineIndex::kLct);
+        for (const auto& e : f.edges) s.insert(e.u, e.v, e.weight);
+        const int reps = 10;
+        double ins = 0, del = 0;
+        uint64_t chg = 0;
+        for (int r = 0; r < reps; ++r) {
+          stats::counters().reset();
+          Timer ti;
+          edge_id e;
+          switch (algo.kind) {
+            case 1:
+              e = s.insert_parallel(0, h + 1, 0.0);
+              break;
+            case 2:
+              e = s.insert_parallel_output_sensitive(0, h + 1, 0.0);
+              break;
+            default:
+              e = s.insert(0, h + 1, 0.0);
+          }
+          ins += ti.us();
+          chg += stats::counters().pointer_writes.load();
+          Timer td;
+          if (algo.kind == 0) {
+            s.erase(e);
+          } else {
+            s.erase_parallel(e);
+          }
+          del += td.us();
+        }
+        bench::row("%-12s %8u %7d %10.1f %10.1f %10llu", algo.name, h, threads,
+                   ins / reps, del / reps,
+                   static_cast<unsigned long long>(chg / reps));
+      }
+    }
+  }
+  par::set_num_workers(1);
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Runtime substrate microbenchmarks (google-benchmark): the fork-join
+// primitives every algorithm in the library is built from. Validates
+// that the substrate's constants are sane (§2.3 primitives).
+#include <benchmark/benchmark.h>
+
+#include "parallel/par.hpp"
+#include "parallel/primitives.hpp"
+#include "parallel/random.hpp"
+
+namespace dynsld::par {
+namespace {
+
+void BM_ParallelFor(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<uint64_t> v(n);
+  for (auto _ : state) {
+    parallel_for(0, n, [&](size_t i) { v[i] = hash64(i); });
+    benchmark::DoNotOptimize(v.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_ParallelFor)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_Reduce(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<uint64_t> v(n);
+  for (size_t i = 0; i < n; ++i) v[i] = hash64(i) % 1000;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(reduce<uint64_t>(v));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_Reduce)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_Filter(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<uint64_t> v(n);
+  for (size_t i = 0; i < n; ++i) v[i] = hash64(i);
+  for (auto _ : state) {
+    auto out = filter<uint64_t>(v, [](uint64_t x) { return x % 3 == 0; });
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_Filter)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_Merge(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<uint64_t> a(n / 2), b(n - n / 2);
+  for (size_t i = 0; i < a.size(); ++i) a[i] = hash64(i);
+  for (size_t i = 0; i < b.size(); ++i) b[i] = hash64(i + 77);
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  std::vector<uint64_t> out(n);
+  for (auto _ : state) {
+    merge<uint64_t>(a, b, std::span<uint64_t>(out));
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_Merge)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_Sort(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<uint64_t> v(n);
+  for (auto _ : state) {
+    state.PauseTiming();
+    for (size_t i = 0; i < n; ++i) v[i] = hash64(i);
+    state.ResumeTiming();
+    par::sort(v);
+    benchmark::DoNotOptimize(v.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_Sort)->Arg(1 << 16)->Arg(1 << 18);
+
+}  // namespace
+}  // namespace dynsld::par
+
+BENCHMARK_MAIN();

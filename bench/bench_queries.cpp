@@ -1,0 +1,64 @@
+// T2 (Table 2): dendrogram query costs with the explicit SLD (DynSLD)
+// vs an MSF-only pipeline (adjacency crawl).
+//
+// Workload: a forest of clusters of size S connected by heavy bridges;
+// queries at a threshold that isolates one cluster.
+//
+// Expected shape (Table 2): threshold queries O(log n) for both;
+// cluster REPORT O(|S|) for both (but low-depth for DynSLD); cluster
+// SIZE O(log n) for DynSLD vs O(|S|) for the crawl — the crawl's cost
+// grows linearly in S while DynSLD's stays flat.
+#include "bench_util.hpp"
+#include "dynsld/dyn_sld.hpp"
+#include "parallel/random.hpp"
+
+using namespace dynsld;
+using bench::Timer;
+
+int main() {
+  bench::header("T2", "queries: explicit SLD (DynSLD) vs MSF-only crawl");
+  bench::row("%9s %9s %12s %12s %12s %12s %12s", "S", "n", "thresh_us",
+             "size_us", "size_crawl", "report_us", "report_crawl");
+  par::Rng rng(4);
+  for (vertex_id S : {16u, 256u, 4096u, 65536u}) {
+    vertex_id clusters = std::max<vertex_id>(4, (1u << 18) / S);
+    vertex_id n = S * clusters;
+    DynSLD s(n, SpineIndex::kLct);
+    // Each cluster: a random tree with weights < 100; bridges weight 1e6.
+    for (vertex_id c = 0; c < clusters; ++c) {
+      vertex_id base = c * S;
+      for (vertex_id i = 1; i < S; ++i) {
+        s.insert(base + static_cast<vertex_id>(rng.next_bounded(i)), base + i,
+                 static_cast<double>(rng.next_bounded(100)));
+      }
+      if (c > 0) s.insert(base - 1, base, 1e6);
+    }
+    const double tau = 1000.0;  // isolates one cluster of size S
+    const int reps = 50;
+    double th_us = 0, sz_us = 0, szc_us = 0, rp_us = 0, rpc_us = 0;
+    for (int r = 0; r < reps; ++r) {
+      vertex_id u = static_cast<vertex_id>(rng.next_bounded(n));
+      vertex_id v = static_cast<vertex_id>(rng.next_bounded(n));
+      Timer t1;
+      s.same_cluster(u, v, tau);
+      th_us += t1.us();
+      Timer t2;
+      uint64_t a = s.cluster_size(u, tau);
+      sz_us += t2.us();
+      Timer t3;
+      uint64_t b = s.cluster_size_via_crawl(u, tau);
+      szc_us += t3.us();
+      if (a != b) bench::row("!! size mismatch");
+      Timer t4;
+      auto rep = s.cluster_report(u, tau);
+      rp_us += t4.us();
+      Timer t5;
+      auto rep2 = s.cluster_report_via_crawl(u, tau);
+      rpc_us += t5.us();
+      if (rep.size() != rep2.size()) bench::row("!! report mismatch");
+    }
+    bench::row("%9u %9u %12.2f %12.2f %12.2f %12.2f %12.2f", S, n, th_us / reps,
+               sz_us / reps, szc_us / reps, rp_us / reps, rpc_us / reps);
+  }
+  return 0;
+}

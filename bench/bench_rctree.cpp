@@ -1,0 +1,98 @@
+// T1 (Table 1): RC tree operation costs — link, cut, connectivity
+// query, path query — on random trees across n, plus the LCT providing
+// the same interface for comparison.
+//
+// Expected shape: every RC op is polylogarithmic in n (Table 1's
+// O(log n) column); the hierarchy height grows logarithmically.
+#include "bench_util.hpp"
+#include "dtree/link_cut_tree.hpp"
+#include "graph/generators.hpp"
+#include "parallel/random.hpp"
+#include "rctree/rc_tree.hpp"
+
+using namespace dynsld;
+using bench::Timer;
+
+int main() {
+  bench::header("T1", "dynamic-tree operation costs (RC tree vs LCT)");
+  bench::row("%6s %9s %5s %10s %10s %10s %10s %8s", "struct", "n", "", "link_us",
+             "cut_us", "conn_us", "pathq_us", "rc_h");
+  for (vertex_id n : {1u << 10, 1u << 12, 1u << 14, 1u << 16}) {
+    gen::Forest f = gen::random_tree(n, 3);
+    par::Rng rng(9);
+    const int reps = 200;
+
+    // --- RC tree ---
+    {
+      rctree::RcTree t(n);
+      for (const auto& e : f.edges) {
+        t.link(e.u, e.v, e.rank());
+      }
+      // link/cut: cut and relink random existing edges.
+      Timer tc;
+      std::vector<size_t> picks;
+      for (int r = 0; r < reps; ++r) picks.push_back(rng.next_bounded(f.edges.size()));
+      double cut_us = 0, link_us = 0;
+      for (size_t p : picks) {
+        const auto& e = f.edges[p];
+        Timer t1;
+        t.cut(e.u, e.v);
+        cut_us += t1.us();
+        Timer t2;
+        t.link(e.u, e.v, e.rank());
+        link_us += t2.us();
+      }
+      Timer tq;
+      for (int r = 0; r < reps; ++r) {
+        t.connected(static_cast<vertex_id>(rng.next_bounded(n)),
+                    static_cast<vertex_id>(rng.next_bounded(n)));
+      }
+      double conn_us = tq.us() / reps;
+      Timer tp;
+      for (int r = 0; r < reps; ++r) {
+        vertex_id a = static_cast<vertex_id>(rng.next_bounded(n));
+        vertex_id b = static_cast<vertex_id>(rng.next_bounded(n));
+        t.path_max_edge(a, b);
+      }
+      double path_us = tp.us() / reps;
+      bench::row("%6s %9u %5s %10.2f %10.2f %10.2f %10.2f %8zu", "rc", n, "",
+                 link_us / reps, cut_us / reps, conn_us, path_us,
+                 t.hierarchy_height());
+    }
+
+    // --- LCT (same ops) ---
+    {
+      LinkCutTree t(n);
+      for (vertex_id v = 0; v < n; ++v) {
+        t.set_key(static_cast<int>(v), Rank{static_cast<double>(v), v});
+      }
+      for (const auto& e : f.edges) t.link(static_cast<int>(e.u), static_cast<int>(e.v));
+      double cut_us = 0, link_us = 0;
+      for (int r = 0; r < reps; ++r) {
+        const auto& e = f.edges[rng.next_bounded(f.edges.size())];
+        Timer t1;
+        t.cut(static_cast<int>(e.u), static_cast<int>(e.v));
+        cut_us += t1.us();
+        Timer t2;
+        t.link(static_cast<int>(e.u), static_cast<int>(e.v));
+        link_us += t2.us();
+      }
+      Timer tq;
+      for (int r = 0; r < reps; ++r) {
+        t.connected(static_cast<int>(rng.next_bounded(n)),
+                    static_cast<int>(rng.next_bounded(n)));
+      }
+      double conn_us = tq.us() / reps;
+      Timer tp;
+      for (int r = 0; r < reps; ++r) {
+        int a = static_cast<int>(rng.next_bounded(n));
+        int b = static_cast<int>(rng.next_bounded(n));
+        if (t.connected(a, b)) t.path_max(a, b);
+      }
+      double path_us = tp.us() / reps;
+      bench::row("%6s %9u %5s %10.2f %10.2f %10.2f %10.2f %8s", "lct", n, "",
+                 link_us / reps, cut_us / reps, conn_us, path_us, "-");
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,69 @@
+// E6: static SLD construction — sequential Kruskal baseline vs the
+// batch-insertion-based parallel construction (Thm 1.5 machinery), and
+// the dynamic-vs-static crossover point.
+//
+// Expected shape: Kruskal is O(n log n) regardless of h; batch-based
+// construction is competitive; a sequence of k dynamic updates beats
+// one static rebuild until k*h ~ n log n.
+#include "bench_util.hpp"
+#include "dendrogram/static_sld.hpp"
+#include "dynsld/dyn_sld.hpp"
+#include "graph/generators.hpp"
+#include "parallel/random.hpp"
+
+using namespace dynsld;
+using bench::Timer;
+
+int main() {
+  bench::header("E6", "static construction & dynamic-vs-static crossover");
+  bench::row("%-10s %9s %8s %12s %12s", "family", "n", "height", "kruskal_ms",
+             "batch_ms");
+  for (vertex_id n : {1u << 12, 1u << 14, 1u << 16}) {
+    struct Case {
+      const char* name;
+      gen::Forest f;
+    };
+    Case cases[] = {
+        {"path_inc", gen::path(n, gen::Weights::kIncreasing)},   // h = n-1
+        {"path_bal", gen::path(n, gen::Weights::kBalanced)},     // h ~ log n
+        {"random", gen::random_tree(n, 7)},
+    };
+    for (auto& c : cases) {
+      Timer tk;
+      Dendrogram dk = build_kruskal(c.f.n, c.f.edges);
+      double k_ms = tk.ms();
+      Timer tb;
+      Dendrogram db = build_batch_parallel(c.f.n, c.f.edges);
+      double b_ms = tb.ms();
+      if (!(dk == db)) bench::row("!! mismatch");
+      bench::row("%-10s %9u %8zu %12.2f %12.2f", c.name, n, dk.height(), k_ms,
+                 b_ms);
+    }
+  }
+
+  bench::header("E6b", "crossover: k sequential updates vs one static rebuild");
+  bench::row("%9s %9s %14s %14s", "k", "n", "k_updates_ms", "static_ms");
+  const vertex_id n = 1 << 15;
+  gen::Forest f = gen::random_tree(n, 11);
+  DynSLD s(n, SpineIndex::kPointer);
+  for (const auto& e : f.edges) s.insert(e.u, e.v, e.weight);
+  par::Rng rng(3);
+  for (size_t k : {16u, 128u, 1024u, 8192u}) {
+    // k delete+reinsert cycles of random edges.
+    Timer tu;
+    for (size_t r = 0; r < k; ++r) {
+      edge_id e = static_cast<edge_id>(rng.next_bounded(f.edges.size()));
+      if (!s.edge_alive(e)) continue;
+      WeightedEdge ed = s.edge(e);
+      s.erase(e);
+      s.insert(ed.u, ed.v, ed.weight);
+    }
+    double upd_ms = tu.ms();
+    auto live = s.edges();
+    Timer ts;
+    Dendrogram d = build_kruskal(n, live);
+    (void)d;
+    bench::row("%9zu %9u %14.2f %14.2f", k, n, upd_ms, ts.ms());
+  }
+  return 0;
+}

@@ -1,0 +1,59 @@
+// E1 (Theorem 1.1 / §5): update cost scales with the dendrogram height.
+//
+// Workload: the Theorem 5.1 lower-bound family (n fixed, h swept).
+// Inserting a weight-0 edge between two star centers forces Theta(h)
+// pointer changes; deleting it undoes them. Compared against full
+// static recomputation (sorted Kruskal) of the same forest.
+//
+// Expected shape: insert/delete time grows linearly in h while static
+// recomputation stays ~flat (it always pays Theta(n log n)); dynamic
+// wins by orders of magnitude for small h and stays ahead at h = n-1.
+#include "bench_util.hpp"
+#include "dendrogram/static_sld.hpp"
+#include "dynsld/dyn_sld.hpp"
+#include "graph/generators.hpp"
+#include "parallel/stats.hpp"
+
+using namespace dynsld;
+using bench::Timer;
+
+int main() {
+  bench::header("E1", "single update cost vs dendrogram height h (Thm 1.1, Thm 5.1)");
+  bench::row("%8s %9s %12s %12s %12s %10s", "h", "n", "insert_us", "delete_us",
+             "static_us", "ptr_chgs");
+  const vertex_id total_n = 1 << 15;
+  for (vertex_id h = 16; h <= total_n / 2; h *= 4) {
+    vertex_id stars = total_n / (h + 1);
+    if (stars < 2) break;
+    gen::Forest f = gen::lower_bound_stars(h, stars);
+    DynSLD s(f.n, SpineIndex::kPointer);
+    for (const auto& e : f.edges) s.insert(e.u, e.v, e.weight);
+
+    const int reps = 20;
+    double ins_us = 0, del_us = 0;
+    uint64_t writes = 0;
+    for (int r = 0; r < reps; ++r) {
+      // Join two star centers (rotating which pair) with a minimal edge.
+      vertex_id c1 = static_cast<vertex_id>((2 * r) % stars) * (h + 1);
+      vertex_id c2 = static_cast<vertex_id>((2 * r + 1) % stars) * (h + 1);
+      stats::counters().reset();
+      Timer ti;
+      edge_id e = s.insert(c1, c2, 0.0);
+      ins_us += ti.us();
+      writes += stats::counters().pointer_writes.load();
+      Timer td;
+      s.erase(e);
+      del_us += td.us();
+    }
+    // Static recomputation baseline on the same forest.
+    auto live = s.edges();
+    Timer ts;
+    Dendrogram d = build_kruskal(f.n, live);
+    double static_us = ts.us();
+    (void)d;
+    bench::row("%8u %9u %12.1f %12.1f %12.1f %10llu", h, f.n, ins_us / reps,
+               del_us / reps, static_us,
+               static_cast<unsigned long long>(writes / reps));
+  }
+  return 0;
+}

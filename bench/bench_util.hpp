@@ -1,0 +1,43 @@
+// Shared benchmark helpers: wall-clock timing and aligned table output.
+// Every bench prints the experiment id from DESIGN.md, the workload
+// parameters, measured times, and machine-independent work proxies
+// (pointer changes, queries) so the *shape* claims are checkable even
+// on throttled hardware.
+#pragma once
+
+#include <chrono>
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace dynsld::bench {
+
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+  double us() const {
+    return std::chrono::duration<double, std::micro>(clock::now() - start_)
+        .count();
+  }
+  double ms() const { return us() / 1000.0; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+inline void header(const char* experiment, const char* title) {
+  std::printf("\n=== %s — %s ===\n", experiment, title);
+}
+
+inline void row(const char* fmt, ...) {
+  va_list ap;
+  va_start(ap, fmt);
+  std::vfprintf(stdout, fmt, ap);
+  va_end(ap);
+  std::printf("\n");
+  std::fflush(stdout);
+}
+
+}  // namespace dynsld::bench

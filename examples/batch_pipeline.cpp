@@ -1,0 +1,78 @@
+// Batch-dynamic maintenance (Theorem 1.5): a forest that changes in
+// bursts — whole groups of connections arriving and departing at once —
+// processed with insert_batch / erase_batch rather than one at a time,
+// mirroring the end-to-end batch-dynamic pipeline of §1 (batch MSF +
+// batch SLD).
+//
+//   $ ./batch_pipeline
+#include <cstdio>
+#include <vector>
+
+#include "dendrogram/static_sld.hpp"
+#include "dynsld/dyn_sld.hpp"
+#include "graph/generators.hpp"
+#include "parallel/random.hpp"
+
+using namespace dynsld;
+
+int main() {
+  // 64 sensor clusters of 32 nodes each; intra-cluster links are
+  // permanent, inter-cluster links come and go in batches.
+  const vertex_id clusters = 64, csize = 32;
+  const vertex_id n = clusters * csize;
+  DynSLD s(n, SpineIndex::kLct);
+  par::Rng rng(11);
+
+  for (vertex_id c = 0; c < clusters; ++c) {
+    vertex_id base = c * csize;
+    for (vertex_id i = 1; i < csize; ++i) {
+      s.insert(base + static_cast<vertex_id>(rng.next_bounded(i)), base + i,
+               static_cast<double>(rng.next_bounded(100)));
+    }
+  }
+  std::printf("base forest: %u vertices, %zu edges, height %zu\n", n,
+              s.num_edges(), s.dendrogram().height());
+
+  std::printf("\n%6s %8s %10s %10s %9s\n", "burst", "batch_k", "edges",
+              "height", "comps@500");
+  std::vector<edge_id> bridges;
+  for (int burst = 0; burst < 6; ++burst) {
+    if (burst % 2 == 0) {
+      // Arrival burst: connect a random spanning structure over the
+      // cluster representatives (acyclic by construction).
+      std::vector<DynSLD::EdgeInsert> batch;
+      for (vertex_id c = 1; c < clusters; ++c) {
+        vertex_id a = static_cast<vertex_id>(rng.next_bounded(c)) * csize;
+        batch.push_back({a, c * csize,
+                         500.0 + static_cast<double>(rng.next_bounded(500))});
+      }
+      auto ids = s.insert_batch(batch);
+      bridges.insert(bridges.end(), ids.begin(), ids.end());
+      // Count components at threshold 500 (bridges excluded).
+      auto labels = s.flat_clustering(500.0);
+      std::vector<char> seen(n, 0);
+      int comps = 0;
+      for (vertex_id v = 0; v < n; ++v) {
+        if (!seen[labels[v]]) {
+          seen[labels[v]] = 1;
+          ++comps;
+        }
+      }
+      std::printf("%6d %8zu %10zu %10zu %9d\n", burst, batch.size(),
+                  s.num_edges(), s.dendrogram().height(), comps);
+    } else {
+      // Departure burst: all bridges drop at once.
+      s.erase_batch(bridges);
+      std::printf("%6d %8zu %10zu %10zu %9s\n", burst, bridges.size(),
+                  s.num_edges(), s.dendrogram().height(), "-");
+      bridges.clear();
+    }
+  }
+
+  // Cross-check against static recomputation.
+  auto live = s.edges();
+  Dendrogram want = build_kruskal(n, live);
+  std::printf("\nfinal dendrogram matches static recomputation: %s\n",
+              s.dendrogram() == want ? "yes" : "NO");
+  return 0;
+}

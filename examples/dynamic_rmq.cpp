@@ -1,0 +1,54 @@
+// Dynamic range-maximum queries via dynamic Cartesian trees (§6.2):
+// maintain a mutable sequence of readings and answer range-max queries
+// in O(log n), with O(log n) worst-case appends.
+//
+//   $ ./dynamic_rmq
+#include <cstdio>
+#include <vector>
+
+#include "cartesian/cartesian_tree.hpp"
+#include "parallel/random.hpp"
+
+using namespace dynsld;
+
+int main() {
+  // A sensor feed: readings appended over time, occasional corrections
+  // (inserts/removals in the middle), with sliding range-max queries.
+  CartesianTree feed(4096);
+  par::Rng rng(7);
+
+  std::printf("appending 1000 readings...\n");
+  for (int i = 0; i < 1000; ++i) {
+    feed.push_back(20.0 + 10.0 * rng.next_double() +
+                   (i % 97 == 0 ? 25.0 : 0.0));  // occasional spikes
+  }
+
+  auto seq = feed.in_order();
+  std::printf("range-max over sliding windows of 100:\n");
+  for (size_t lo = 0; lo + 100 <= seq.size(); lo += 250) {
+    auto h = feed.range_max(seq[lo], seq[lo + 99]);
+    std::printf("  window [%4zu, %4zu): max = %.2f\n", lo, lo + 100,
+                feed.value(h));
+  }
+
+  std::printf("\ncorrections: removing the 10 biggest spikes...\n");
+  for (int r = 0; r < 10; ++r) {
+    auto top = feed.root();  // global max = dendrogram root
+    std::printf("  removing value %.2f\n", feed.value(top));
+    feed.erase(top);
+  }
+  seq = feed.in_order();
+  auto h = feed.range_max(seq.front(), seq.back());
+  std::printf("new global max: %.2f over %zu readings\n", feed.value(h),
+              feed.size());
+
+  std::printf("\nsplicing 5 late-arriving readings after position 500...\n");
+  for (int r = 0; r < 5; ++r) {
+    seq = feed.in_order();
+    feed.insert_after(seq[500], 40.0 + r);
+  }
+  seq = feed.in_order();
+  h = feed.range_max(seq[480], seq[520]);
+  std::printf("max around the splice: %.2f\n", feed.value(h));
+  return 0;
+}

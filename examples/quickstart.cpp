@@ -1,0 +1,67 @@
+// Quickstart: maintain the single-linkage dendrogram of a small dynamic
+// forest, mixing insertions, deletions, and clustering queries.
+//
+//   $ ./quickstart
+#include <cstdio>
+
+#include "dynsld/dyn_sld.hpp"
+
+using namespace dynsld;
+
+namespace {
+
+void print_dendrogram(const DynSLD& s) {
+  const Dendrogram& d = s.dendrogram();
+  std::printf("  dendrogram (%zu merge nodes, height %zu):\n", d.size(),
+              d.height());
+  for (edge_id e = 0; e < d.capacity(); ++e) {
+    if (!d.alive(e)) continue;
+    const auto& nd = d.node(e);
+    if (nd.parent == kNoEdge) {
+      std::printf("    node %u: merge (%u,%u) at weight %.1f  [root]\n", e,
+                  nd.u, nd.v, nd.weight);
+    } else {
+      std::printf("    node %u: merge (%u,%u) at weight %.1f  -> node %u\n", e,
+                  nd.u, nd.v, nd.weight, nd.parent);
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  // Eight points; similarities arrive as weighted edges of the minimum
+  // spanning forest (lower weight = more similar).
+  DynSLD s(8, SpineIndex::kLct);
+
+  std::printf("inserting edges...\n");
+  s.insert(0, 1, 1.0);
+  s.insert(1, 2, 4.0);
+  s.insert(3, 4, 2.0);
+  edge_id bridge = s.insert(2, 3, 9.0);  // weak bridge between groups
+  s.insert(5, 6, 3.0);
+  s.insert(6, 7, 5.0);
+  print_dendrogram(s);
+
+  std::printf("\nqueries at threshold 5.0:\n");
+  std::printf("  same_cluster(0, 4)  = %s\n",
+              s.same_cluster(0, 4, 5.0) ? "yes" : "no");
+  std::printf("  cluster_size(0)     = %llu\n",
+              static_cast<unsigned long long>(s.cluster_size(0, 5.0)));
+  auto members = s.cluster_report(5, 5.0);
+  std::printf("  cluster_report(5)   = {");
+  for (auto v : members) std::printf(" %u", v);
+  std::printf(" }\n");
+
+  std::printf("\ndeleting the weak bridge (weight 9.0)...\n");
+  s.erase(bridge);
+  print_dendrogram(s);
+
+  std::printf("\nflat clustering at threshold 3.5:\n  labels:");
+  auto labels = s.flat_clustering(3.5);
+  for (vertex_id v = 0; v < s.num_vertices(); ++v) {
+    std::printf(" %u:%u", v, labels[v]);
+  }
+  std::printf("\n");
+  return 0;
+}

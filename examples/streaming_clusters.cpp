@@ -1,0 +1,104 @@
+// Streaming clustering: points arrive and leave over time (the
+// intro's motivating "rapidly changing modern datasets"); the pipeline
+// maintains the exact single-linkage dendrogram of the evolving
+// similarity graph and answers live cluster queries.
+//
+// Workload: a sliding window over a stream of 2-D points (three moving
+// Gaussian-ish blobs). Each window step inserts new points' edges into
+// the dynamic-MSF pipeline and deletes expired ones, then reports the
+// cluster structure at a fixed distance threshold.
+//
+//   $ ./streaming_clusters
+#include <cmath>
+#include <cstdio>
+#include <deque>
+#include <vector>
+
+#include "msf/dynamic_msf.hpp"
+#include "parallel/random.hpp"
+
+using namespace dynsld;
+
+int main() {
+  const int window = 120;         // live points
+  const int steps = 12;           // window slides
+  const int per_step = 30;        // points replaced per slide
+  const double tau = 0.35;        // clustering threshold
+  const vertex_id capacity = window + steps * per_step;
+
+  DynamicClustering dc(capacity);
+  par::Rng rng(2026);
+
+  struct Point {
+    vertex_id id;
+    double x, y;
+    std::vector<uint32_t> edges;  // graph-edge handles touching it
+  };
+  std::deque<Point> live;
+  vertex_id next_id = 0;
+
+  auto blob_center = [](int t, int b) {
+    double phase = 0.08 * t + 2.1 * b;
+    return std::pair<double, double>{1.5 + std::cos(phase), 1.5 + std::sin(phase)};
+  };
+
+  auto add_point = [&](int t) {
+    int b = static_cast<int>(rng.next_bounded(3));
+    auto [cx, cy] = blob_center(t, b);
+    Point p;
+    p.id = next_id++;
+    p.x = cx + (rng.next_double() - 0.5) * 0.3;
+    p.y = cy + (rng.next_double() - 0.5) * 0.3;
+    // Similarity edges to all live points within distance 0.8, recorded
+    // on both endpoints so expiry can remove them from either side.
+    for (Point& q : live) {
+      double d = std::hypot(p.x - q.x, p.y - q.y);
+      if (d <= 0.8) {
+        uint32_t h = dc.insert_edge(p.id, q.id, d);
+        p.edges.push_back(h);
+        q.edges.push_back(h);
+      }
+    }
+    live.push_back(std::move(p));
+  };
+
+  for (int i = 0; i < window; ++i) add_point(0);
+
+  std::printf("%5s %7s %7s %9s %10s %8s\n", "step", "points", "edges",
+              "msf_edges", "clusters", "biggest");
+  for (int t = 0; t < steps; ++t) {
+    // Expire the oldest points (their edges go with them).
+    for (int i = 0; i < per_step; ++i) {
+      // Handles may be stale (already erased and possibly reused for an
+      // unrelated edge): only erase live edges actually touching the
+      // expiring vertex.
+      vertex_id dying = live.front().id;
+      for (uint32_t h : live.front().edges) {
+        if (!dc.edge_alive(h)) continue;
+        auto e = dc.edge(h);
+        if (e.u == dying || e.v == dying) dc.erase_edge(h);
+      }
+      live.pop_front();
+    }
+    for (int i = 0; i < per_step; ++i) add_point(t);
+
+    // Cluster census at threshold tau.
+    auto labels = dc.sld().flat_clustering(tau);
+    std::vector<int> count(capacity, 0);
+    int clusters = 0, biggest = 0;
+    for (const Point& p : live) {
+      int c = ++count[labels[p.id]];
+      if (c == 1) ++clusters;
+      if (c > biggest) biggest = c;
+    }
+    std::printf("%5d %7zu %7zu %9zu %10d %8d\n", t, live.size(), dc.num_edges(),
+                dc.num_tree_edges(), clusters, biggest);
+  }
+
+  // Drill into the cluster of the newest point.
+  const Point& probe = live.back();
+  auto members = dc.sld().cluster_report(probe.id, tau);
+  std::printf("\ncluster of newest point %u at tau=%.2f: %zu members\n",
+              probe.id, tau, members.size());
+  return 0;
+}

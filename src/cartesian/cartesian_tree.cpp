@@ -1,0 +1,142 @@
+#include "cartesian/cartesian_tree.hpp"
+
+#include <cassert>
+
+namespace dynsld {
+
+CartesianTree::CartesianTree(size_t max_insertions, SpineIndex index)
+    : sld_(static_cast<vertex_id>(max_insertions + 1), index) {}
+
+vertex_id CartesianTree::fresh_vertex() {
+  assert(next_vertex_ < sld_.num_vertices() &&
+         "CartesianTree insertion budget exhausted");
+  vertex_id v = next_vertex_++;
+  if (sides_.size() <= v) sides_.resize(v + 1);
+  sides_[v] = VertexSides{};
+  return v;
+}
+
+CartesianTree::handle CartesianTree::link_elem(vertex_id a, vertex_id b,
+                                               double value) {
+  handle e = sld_.spine_index_kind() == SpineIndex::kPointer
+                 ? sld_.insert(a, b, value)
+                 : sld_.insert_output_sensitive(a, b, value);
+  if (ends_.size() <= e) ends_.resize(e + 1);
+  ends_[e] = ElemEnds{a, b};
+  sides_[a].right = e;
+  sides_[b].left = e;
+  ++size_;
+  return e;
+}
+
+CartesianTree::handle CartesianTree::push_back(double value) {
+  if (empty()) {
+    vertex_id a = fresh_vertex();
+    vertex_id b = fresh_vertex();
+    head_ = a;
+    tail_ = b;
+    return link_elem(a, b, value);
+  }
+  vertex_id w = fresh_vertex();
+  vertex_id t = tail_;
+  tail_ = w;
+  return link_elem(t, w, value);
+}
+
+CartesianTree::handle CartesianTree::push_front(double value) {
+  if (empty()) return push_back(value);
+  vertex_id w = fresh_vertex();
+  vertex_id h = head_;
+  head_ = w;
+  return link_elem(w, h, value);
+}
+
+CartesianTree::handle CartesianTree::insert_after(handle h, double val) {
+  assert(sld_.edge_alive(h));
+  vertex_id b = ends_[h].right;
+  handle g = sides_[b].right;
+  if (g == kNoHandle) {
+    // h is the last element: plain append.
+    vertex_id m = fresh_vertex();
+    tail_ = m;
+    return link_elem(b, m, val);
+  }
+  // Vertex split (§6.2): replace g = (b, c) by new element (b, m) and
+  // the rebuilt neighbor (m, c). The neighbor's handle is reassigned.
+  vertex_id c = ends_[g].right;
+  double gw = value(g);
+  sld_.erase(g);
+  --size_;
+  vertex_id m = fresh_vertex();
+  handle fresh = link_elem(b, m, val);
+  link_elem(m, c, gw);
+  return fresh;
+}
+
+void CartesianTree::erase(handle h) {
+  assert(sld_.edge_alive(h));
+  vertex_id u = ends_[h].left;
+  vertex_id v = ends_[h].right;
+  handle l = sides_[u].left;
+  handle r = sides_[v].right;
+  sld_.erase(h);
+  --size_;
+  if (l == kNoHandle && r == kNoHandle) {
+    head_ = tail_ = kNoVertex;
+    return;
+  }
+  if (l == kNoHandle) {  // first element
+    head_ = v;
+    sides_[v].left = kNoHandle;
+    return;
+  }
+  if (r == kNoHandle) {  // last element
+    tail_ = u;
+    sides_[u].right = kNoHandle;
+    return;
+  }
+  // Edge contraction (§6.2): rebuild the left neighbor l = (t, u) as
+  // (t, v); vertex u leaves the path. l's handle is reassigned.
+  vertex_id t = ends_[l].left;
+  double lw = value(l);
+  sld_.erase(l);
+  --size_;
+  link_elem(t, v, lw);
+}
+
+CartesianTree::handle CartesianTree::root() const {
+  assert(!empty());
+  return sld_.dendrogram().root_of(sides_[head_].right);
+}
+
+std::vector<CartesianTree::handle> CartesianTree::in_order() const {
+  std::vector<handle> out;
+  if (empty()) return out;
+  for (handle e = sides_[head_].right; e != kNoHandle;) {
+    out.push_back(e);
+    e = sides_[ends_[e].right].right;
+  }
+  return out;
+}
+
+CartesianTree::handle CartesianTree::range_max(handle l, handle r) {
+  return sld_.max_edge_on_path(ends_[l].left, ends_[r].right).id;
+}
+
+std::vector<size_t> build_cartesian_parents(const std::vector<double>& values) {
+  std::vector<size_t> parent(values.size(), static_cast<size_t>(-1));
+  std::vector<size_t> stack;
+  for (size_t i = 0; i < values.size(); ++i) {
+    size_t last = static_cast<size_t>(-1);
+    while (!stack.empty() && values[stack.back()] < values[i]) {
+      last = stack.back();
+      stack.pop_back();
+    }
+    if (last != static_cast<size_t>(-1)) parent[last] = i;
+    if (!stack.empty()) parent[i] = stack.back();
+    stack.push_back(i);
+  }
+  return parent;
+}
+
+}  // namespace dynsld

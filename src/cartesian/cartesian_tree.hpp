@@ -1,0 +1,95 @@
+// Dynamic Cartesian trees (§6.2).
+//
+// The Cartesian tree of a sequence A equals the single-linkage
+// dendrogram of a path graph whose edge weights are A's entries ([19];
+// max-heap order on values, in-order traversal = A). This class
+// maintains that equivalence on top of DynSLD:
+//   - leaf updates / appends: O(log n) worst-case (c = O(1) output-
+//     sensitive insertion; improves the O(log n) *amortized* bounds of
+//     Demaine et al. and Bialynicka-Birula–Grossi),
+//   - arbitrary position inserts/deletes via the vertex-split / edge-
+//     contraction reduction, with DynSLD update costs,
+//   - range-max queries (RMQ) in O(log n) via path-max.
+//
+// Elements are identified by stable handles. The constructor takes a
+// lifetime budget of insertions (each insertion consumes one fresh path
+// vertex; DynSLD's vertex set is fixed at construction).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "dynsld/dyn_sld.hpp"
+
+namespace dynsld {
+
+class CartesianTree {
+ public:
+  using handle = edge_id;
+  static constexpr handle kNoHandle = kNoEdge;
+
+  /// `max_insertions`: total number of element insertions this instance
+  /// will ever perform (push/insert calls), used to size the vertex set.
+  explicit CartesianTree(size_t max_insertions,
+                         SpineIndex index = SpineIndex::kLct);
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Append at the end / front of the sequence. O(log n) worst case.
+  handle push_back(double value);
+  handle push_front(double value);
+
+  /// Insert right after element h (arbitrary position).
+  handle insert_after(handle h, double value);
+
+  /// Remove an element from anywhere in the sequence.
+  void erase(handle h);
+
+  double value(handle h) const { return sld_.edge(h).weight; }
+
+  /// Max-heap Cartesian tree structure: parent has the larger value.
+  handle parent(handle h) const { return sld_.dendrogram().parent(h); }
+  handle root() const;
+
+  /// The sequence, front to back. O(n).
+  std::vector<handle> in_order() const;
+
+  /// Handle of the maximum element in the inclusive range [l..r]
+  /// (l must not come after r in sequence order). O(log n).
+  handle range_max(handle l, handle r);
+
+  /// Underlying dendrogram (= the Cartesian tree; node id = handle).
+  const Dendrogram& tree() const { return sld_.dendrogram(); }
+
+ private:
+  vertex_id fresh_vertex();
+  handle link_elem(vertex_id a, vertex_id b, double value);
+
+  DynSLD sld_;
+  vertex_id next_vertex_ = 0;
+  size_t size_ = 0;
+  // Path structure: for each element (edge id), its left/right path
+  // vertices; for each vertex, the elements on its two sides.
+  struct ElemEnds {
+    vertex_id left = kNoVertex;
+    vertex_id right = kNoVertex;
+  };
+  std::vector<ElemEnds> ends_;
+  struct VertexSides {
+    handle left = kNoHandle;
+    handle right = kNoHandle;
+  };
+  std::vector<VertexSides> sides_;
+  vertex_id head_ = kNoVertex;  // leftmost path vertex
+  vertex_id tail_ = kNoVertex;  // rightmost path vertex
+};
+
+/// Classic O(n) stack construction of the (max) Cartesian tree of
+/// `values`; returns the parent index of each element (size_t(-1) for
+/// the root). Ties broken toward the earlier element, matching the
+/// (weight, id) rank order when ids increase left to right.
+std::vector<size_t> build_cartesian_parents(const std::vector<double>& values);
+
+}  // namespace dynsld

@@ -1,0 +1,206 @@
+// The explicit single-linkage dendrogram (SLD) data structure of §2.1:
+// a rooted binary forest with one internal node per edge of the input
+// forest, stored as a parent-pointer array indexed by edge id. Leaves
+// (input vertices) are implicit — a vertex's conceptual parent is its
+// minimum-rank incident edge. We additionally maintain the (at most
+// two) child pointers of every node so that subtree operations (cluster
+// report, §6.1) and structural validation are possible; each parent
+// change updates them in O(1).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace dynsld {
+
+class Dendrogram {
+ public:
+  struct Node {
+    vertex_id u = kNoVertex;          // endpoints of the edge this node merges
+    vertex_id v = kNoVertex;
+    double weight = 0.0;
+    edge_id parent = kNoEdge;         // next (higher-rank) cluster containing this one
+    edge_id child[2] = {kNoEdge, kNoEdge};
+    bool alive = false;
+  };
+
+  Dendrogram() = default;
+  explicit Dendrogram(size_t capacity) : nodes_(capacity) {}
+
+  size_t capacity() const { return nodes_.size(); }
+  size_t size() const { return num_alive_; }
+
+  bool alive(edge_id e) const {
+    return e < nodes_.size() && nodes_[e].alive;
+  }
+
+  const Node& node(edge_id e) const {
+    assert(alive(e));
+    return nodes_[e];
+  }
+
+  Rank rank(edge_id e) const { return Rank{nodes_[e].weight, e}; }
+  edge_id parent(edge_id e) const { return nodes_[e].parent; }
+  WeightedEdge edge(edge_id e) const {
+    const Node& nd = nodes_[e];
+    return WeightedEdge{nd.u, nd.v, nd.weight, e};
+  }
+
+  /// Create the node for edge `e` (parentless, childless). e.id chooses
+  /// the slot; the array grows as needed.
+  void add_node(const WeightedEdge& e) {
+    if (e.id >= nodes_.size()) nodes_.resize(static_cast<size_t>(e.id) + 1);
+    Node& nd = nodes_[e.id];
+    assert(!nd.alive);
+    nd = Node{};
+    nd.u = e.u;
+    nd.v = e.v;
+    nd.weight = e.weight;
+    nd.alive = true;
+    ++num_alive_;
+  }
+
+  /// Remove a node. The caller must have already detached it (no parent,
+  /// no children) — deletion algorithms relink neighbors first.
+  void remove_node(edge_id e) {
+    Node& nd = nodes_[e];
+    assert(nd.alive);
+    assert(nd.parent == kNoEdge);
+    assert(nd.child[0] == kNoEdge && nd.child[1] == kNoEdge);
+    nd.alive = false;
+    --num_alive_;
+  }
+
+  /// Change the parent pointer of `e` to `p` (possibly kNoEdge),
+  /// maintaining child lists on both sides.
+  void set_parent(edge_id e, edge_id p) {
+    Node& nd = nodes_[e];
+    assert(nd.alive);
+    if (nd.parent == p) return;
+    if (nd.parent != kNoEdge) detach_child(nd.parent, e);
+    nd.parent = p;
+    if (p != kNoEdge) attach_child(p, e);
+  }
+
+  /// Apply a set of parent-pointer changes {child -> new parent} in two
+  /// phases (detach all, then attach all). Unlike repeated set_parent,
+  /// this is insensitive to ordering: update algorithms that relink
+  /// several chains (deletion unmerge, batch star merges) may produce
+  /// changes whose pairwise application order would transiently give a
+  /// node three children. Duplicate entries must agree on the target.
+  void apply_parent_changes(
+      std::span<const std::pair<edge_id, edge_id>> changes) {
+    for (const auto& [c, p] : changes) {
+      Node& nd = nodes_[c];
+      assert(nd.alive);
+      if (nd.parent != p && nd.parent != kNoEdge) {
+        detach_child(nd.parent, c);
+        nd.parent = kNoEdge;
+      }
+    }
+    for (const auto& [c, p] : changes) {
+      Node& nd = nodes_[c];
+      if (nd.parent == p) continue;  // duplicate or unchanged entry
+      assert(nd.parent == kNoEdge);
+      nd.parent = p;
+      if (p != kNoEdge) attach_child(p, c);
+    }
+  }
+
+  /// Number of internal-node children (0..2).
+  int num_children(edge_id e) const {
+    const Node& nd = nodes_[e];
+    return (nd.child[0] != kNoEdge ? 1 : 0) + (nd.child[1] != kNoEdge ? 1 : 0);
+  }
+
+  /// The root of the dendrogram tree containing e (O(spine length)).
+  edge_id root_of(edge_id e) const {
+    while (nodes_[e].parent != kNoEdge) e = nodes_[e].parent;
+    return e;
+  }
+
+  /// Spine of e (§2.1): the node-to-root path, e first. O(length).
+  std::vector<edge_id> spine(edge_id e) const {
+    std::vector<edge_id> s;
+    for (edge_id x = e; x != kNoEdge; x = nodes_[x].parent) s.push_back(x);
+    return s;
+  }
+
+  /// Height: length of the longest leaf-to-root chain of internal nodes.
+  /// O(size). (h in the paper's bounds; h <= n-1.)
+  size_t height() const {
+    std::vector<uint32_t> depth(nodes_.size(), 0);
+    size_t best = 0;
+    // Depth of a node = 1 + max over ancestors processed lazily: walk up
+    // with path memoization.
+    std::vector<edge_id> stack;
+    std::vector<bool> done(nodes_.size(), false);
+    for (edge_id e = 0; e < nodes_.size(); ++e) {
+      if (!nodes_[e].alive || done[e]) continue;
+      stack.clear();
+      edge_id x = e;
+      while (x != kNoEdge && !done[x]) {
+        stack.push_back(x);
+        x = nodes_[x].parent;
+      }
+      uint32_t d = (x == kNoEdge) ? 0 : depth[x];
+      while (!stack.empty()) {
+        edge_id y = stack.back();
+        stack.pop_back();
+        depth[y] = ++d;
+        done[y] = true;
+        // depth counted from root=1 downward; height = max depth.
+        best = std::max(best, static_cast<size_t>(depth[y]));
+      }
+    }
+    return best;
+  }
+
+  /// Structural equality on the alive node set (ids, endpoints, weights,
+  /// parents). Child order is not significant.
+  friend bool operator==(const Dendrogram& a, const Dendrogram& b) {
+    size_t cap = std::max(a.nodes_.size(), b.nodes_.size());
+    for (edge_id e = 0; e < cap; ++e) {
+      bool aa = a.alive(e), bb = b.alive(e);
+      if (aa != bb) return false;
+      if (!aa) continue;
+      const Node& x = a.nodes_[e];
+      const Node& y = b.nodes_[e];
+      if (x.parent != y.parent || x.weight != y.weight) return false;
+      if (!((x.u == y.u && x.v == y.v) || (x.u == y.v && x.v == y.u))) return false;
+    }
+    return true;
+  }
+
+ private:
+  void attach_child(edge_id p, edge_id c) {
+    Node& pn = nodes_[p];
+    if (pn.child[0] == kNoEdge) {
+      pn.child[0] = c;
+    } else {
+      assert(pn.child[1] == kNoEdge && "a dendrogram node has at most 2 children");
+      pn.child[1] = c;
+    }
+  }
+
+  void detach_child(edge_id p, edge_id c) {
+    Node& pn = nodes_[p];
+    if (pn.child[0] == c) {
+      pn.child[0] = pn.child[1];
+      pn.child[1] = kNoEdge;
+    } else {
+      assert(pn.child[1] == c);
+      pn.child[1] = kNoEdge;
+    }
+  }
+
+  std::vector<Node> nodes_;
+  size_t num_alive_ = 0;
+};
+
+}  // namespace dynsld

@@ -1,0 +1,40 @@
+#include "dendrogram/static_sld.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+namespace dynsld {
+
+Dendrogram build_kruskal(vertex_id n, std::span<const WeightedEdge> edges) {
+  std::vector<size_t> order(edges.size());
+  std::iota(order.begin(), order.end(), size_t{0});
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return edges[a].rank() < edges[b].rank();
+  });
+
+  edge_id max_id = 0;
+  for (const auto& e : edges) max_id = std::max(max_id, e.id);
+  Dendrogram d(edges.empty() ? 0 : static_cast<size_t>(max_id) + 1);
+
+  UnionFind uf(n);
+  // top[root vertex] = dendrogram node currently at the top of that
+  // component's chain (kNoEdge while the component has no edges yet).
+  std::vector<edge_id> top(n, kNoEdge);
+
+  for (size_t idx : order) {
+    const WeightedEdge& e = edges[idx];
+    d.add_node(e);
+    vertex_id ra = uf.find(e.u);
+    vertex_id rb = uf.find(e.v);
+    // The input must be a forest: an edge never joins a component to itself.
+    assert(ra != rb && "build_kruskal input must be acyclic");
+    if (top[ra] != kNoEdge) d.set_parent(top[ra], e.id);
+    if (top[rb] != kNoEdge) d.set_parent(top[rb], e.id);
+    vertex_id r = uf.unite(ra, rb);
+    top[r] = e.id;
+  }
+  return d;
+}
+
+}  // namespace dynsld

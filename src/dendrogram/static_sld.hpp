@@ -1,0 +1,65 @@
+// Static SLD construction.
+//
+// build_kruskal: the classical O(m log m) algorithm (sort by rank, then
+// union-find, tracking the current top dendrogram node of every
+// component). This is both the ground-truth oracle for every dynamic
+// algorithm's tests and the "static recomputation" baseline the paper's
+// update bounds are compared against (the optimal static algorithm of
+// [19] is O(n log h); sorted Kruskal is O(n log n) and its post-sort
+// phase is O(n alpha(n)) — see DESIGN.md substitution #3).
+//
+// build_parallel: parallel static construction that sorts in parallel
+// and then batch-inserts all edges using the Theorem 1.5 machinery
+// (declared here, defined in updates_batch.cpp to avoid a cycle).
+#pragma once
+
+#include <span>
+
+#include "dendrogram/dendrogram.hpp"
+#include "dynsld/spine_index.hpp"
+#include "graph/types.hpp"
+
+namespace dynsld {
+
+/// Ground-truth static SLD: Kruskal-style, O(m log m).
+/// Edge ids must be distinct; they index the dendrogram nodes.
+Dendrogram build_kruskal(vertex_id n, std::span<const WeightedEdge> edges);
+
+/// Parallel static construction: batch-insert every edge into an empty
+/// DynSLD with the Theorem 1.5 machinery (parallel sort happens inside
+/// the star merges). Node ids are the edge positions, so the result is
+/// directly comparable with build_kruskal on id-aligned input.
+/// Defined in dynsld/updates_batch.cpp.
+Dendrogram build_batch_parallel(vertex_id n, std::span<const WeightedEdge> edges,
+                                SpineIndex index = SpineIndex::kPointer);
+
+/// Union-find with path halving; exposed for reuse (tests, MSF).
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n) : parent_(n) {
+    for (size_t i = 0; i < n; ++i) parent_[i] = static_cast<vertex_id>(i);
+  }
+
+  vertex_id find(vertex_id x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  /// Union by attaching a's root under b's root; returns the new root.
+  vertex_id unite(vertex_id a, vertex_id b) {
+    vertex_id ra = find(a), rb = find(b);
+    if (ra == rb) return ra;
+    parent_[ra] = rb;
+    return rb;
+  }
+
+  bool connected(vertex_id a, vertex_id b) { return find(a) == find(b); }
+
+ private:
+  std::vector<vertex_id> parent_;
+};
+
+}  // namespace dynsld

@@ -1,0 +1,240 @@
+// DynSLD (§3): explicit maintenance of the single-linkage dendrogram of
+// a fully-dynamic weighted forest. This class owns
+//   - the explicit dendrogram (parent-pointer array, §2.1),
+//   - the edge store and per-vertex incident-edge sets (for e*_v, the
+//     minimum-rank edge incident to v),
+//   - a dynamic-connectivity structure over the input forest (used by
+//     deletions to decide which side of a cut each spine node is on,
+//     and by threshold queries for path-max),
+//   - an optional spine index over the dendrogram itself (LCT or RC
+//     tree) maintained in lockstep with every parent change, enabling
+//     the output-sensitive algorithms and O(log n) queries.
+//
+// Update algorithms implemented (one method per theorem):
+//   insert / erase                      Thm 1.1  O(h) / O(h log(1+n/h))
+//   insert_output_sensitive             Thm 1.2  O(c log(1+n/c))
+//   insert_parallel / erase_parallel    Thm 1.3  O(h log(1+n/h)) work
+//   insert_parallel_output_sensitive    Thm 1.4  O(c log(1+n/c)) work
+//   insert_batch / erase_batch          Thm 1.5  O(kh log(1+n/(kh))) work
+// plus the dendrogram queries of §6.1 (threshold, cluster size, cluster
+// report, flat clustering).
+//
+// All methods keep the structure exactly equal to the Kruskal-reference
+// SLD of the current edge set (verified exhaustively in tests); the
+// different update algorithms are interchangeable per call.
+#pragma once
+
+#include <cassert>
+#include <memory>
+#include <set>
+#include <span>
+#include <vector>
+
+#include "dendrogram/dendrogram.hpp"
+#include "dtree/link_cut_tree.hpp"
+#include "dynsld/spine_index.hpp"
+#include "graph/types.hpp"
+
+namespace dynsld {
+
+namespace rctree {
+class RcForest;  // forward declaration (paper-faithful backend, src/rctree)
+}
+
+class DynSLD {
+ public:
+  /// A forest over vertices [0, n) with no edges yet.
+  explicit DynSLD(vertex_id n, SpineIndex index = SpineIndex::kLct);
+  ~DynSLD();
+
+  DynSLD(const DynSLD&) = delete;
+  DynSLD& operator=(const DynSLD&) = delete;
+
+  vertex_id num_vertices() const { return n_; }
+  size_t num_edges() const { return dendro_.size(); }
+  const Dendrogram& dendrogram() const { return dendro_; }
+  SpineIndex spine_index_kind() const { return index_kind_; }
+
+  // ---- Theorem 1.1: sequential height-bounded updates ----
+
+  /// Insert edge (u, v) with weight w; u and v must currently be
+  /// disconnected. Two spine-walk merges (Algorithm 2), O(h) plus
+  /// index maintenance. Returns the new edge's id.
+  edge_id insert(vertex_id u, vertex_id v, double w);
+
+  /// Delete edge e: unmerge its characteristic spines using
+  /// connectivity queries against the cut forest (Algorithm 2),
+  /// O(h log(1+n/h)).
+  void erase(edge_id e);
+
+  // ---- Theorem 1.2: output-sensitive insertion ----
+
+  /// Insert using PWS-query alternation (§4.2): O(c log n) with the LCT
+  /// index (O(c log(1+n/c)) with the RC index), where c is the number
+  /// of parent-pointer changes. Requires a spine index.
+  edge_id insert_output_sensitive(vertex_id u, vertex_id v, double w);
+
+  // ---- Theorem 1.3: parallel single updates ----
+
+  /// Insert by extracting both characteristic spines, parallel-merging
+  /// them by rank, and applying the changed pointers (§3.2).
+  edge_id insert_parallel(vertex_id u, vertex_id v, double w);
+
+  /// Delete by extracting spines, batch side queries, parallel filter,
+  /// and bulk pointer application (§3.2).
+  void erase_parallel(edge_id e);
+
+  // ---- Theorem 1.4: parallel output-sensitive insertion ----
+
+  /// Insert via the divide-and-conquer spine merge driven by path
+  /// median + PWS queries (§4.3). Requires a spine index.
+  edge_id insert_parallel_output_sensitive(vertex_id u, vertex_id v, double w);
+
+  // ---- Theorem 1.5: batch-parallel updates ----
+
+  struct EdgeInsert {
+    vertex_id u;
+    vertex_id v;
+    double weight;
+  };
+
+  /// Batch insertion via tree contraction over the incidence graph and
+  /// Star-Merge per contracted star (Algorithm 3). The batch together
+  /// with the current forest must remain acyclic.
+  std::vector<edge_id> insert_batch(std::span<const EdgeInsert> batch);
+
+  /// Batch deletion: batch connectivity cut, then concurrent spine
+  /// unmerges whose (identical) pointer writes are deduplicated
+  /// (Algorithm 3).
+  void erase_batch(std::span<const edge_id> batch);
+
+  // ---- Queries (§6.1) ----
+
+  /// Threshold/LCA query: are s and t in one cluster after merging all
+  /// edges of weight <= tau? O(log n) via path-max on the input forest.
+  bool same_cluster(vertex_id s, vertex_id t, double tau);
+
+  /// Size (vertex count) of the cluster of u at threshold tau.
+  /// O(log n) with a spine index (PWS + subtree size), O(|S|) without.
+  uint64_t cluster_size(vertex_id u, double tau);
+
+  /// All vertices of the cluster of u at threshold tau. O(|S|).
+  std::vector<vertex_id> cluster_report(vertex_id u, double tau);
+
+  /// Flat clustering at threshold tau: label[v] identifies v's cluster
+  /// (labels are arbitrary but equal within a cluster). O(n).
+  std::vector<vertex_id> flat_clustering(double tau);
+
+  /// Table 2 comparison points: the same queries answered with only the
+  /// forest adjacency (what a dynamic-MSF-only pipeline supports):
+  /// breadth-first crawl over sub-threshold edges, O(|S| log deg).
+  uint64_t cluster_size_via_crawl(vertex_id u, double tau);
+  std::vector<vertex_id> cluster_report_via_crawl(vertex_id u, double tau);
+
+  // ---- Introspection (tests, benchmarks, applications) ----
+
+  bool connected(vertex_id u, vertex_id v);
+  bool edge_alive(edge_id e) const { return dendro_.alive(e); }
+  WeightedEdge edge(edge_id e) const { return dendro_.edge(e); }
+  std::vector<WeightedEdge> edges() const;
+
+  /// Minimum-rank edge incident to v (e*_v), or kNoEdge.
+  edge_id min_incident_edge(vertex_id v) const;
+
+  /// All edges incident to v, ordered by rank (tree adjacency; used by
+  /// the dynamic-MSF pipeline and the crawl-based query baselines).
+  const std::set<Rank>& incident_edges(vertex_id v) const { return incident_[v]; }
+
+  /// Max-rank edge on the forest path s..t (s, t must be connected).
+  WeightedEdge max_edge_on_path(vertex_id s, vertex_id t);
+
+  /// Exhaustive structural checks (children consistency, heap order,
+  /// index agreement); O(n log n). Test-only.
+  void check_invariants();
+
+  // -- spine-index query dispatch (public: used by the merge helpers,
+  //    queries, benchmarks and tests; kLct / kRc, with O(h) pointer
+  //    fallbacks) --
+  /// Max-rank node with rank < w on the root path of x (PWS, Def 4.1).
+  edge_id idx_spine_search_below(edge_id x, Rank w);
+  /// Min-rank node with rank > w on the root path of x.
+  edge_id idx_spine_search_above(edge_id x, Rank w);
+  /// Node count on the root path of x, inclusive.
+  size_t idx_spine_length(edge_id x);
+  /// i-th node (0-based from x itself, ascending rank) on x's root path.
+  edge_id idx_spine_select_from_bottom(edge_id x, size_t i);
+  /// Index from bottom of node t on the root path of anchor x.
+  size_t idx_spine_index_from_bottom(edge_id x, edge_id t);
+  /// Subtree size of e in the dendrogram (internal nodes, incl. e).
+  uint64_t idx_subtree_size(edge_id e);
+  /// Extract the spine of e bottom-up (walk or RC parallel expansion).
+  std::vector<edge_id> extract_spine(edge_id e);
+
+ private:
+  friend class DynSldTestPeer;
+
+  // -- edge store --
+  edge_id alloc_edge(vertex_id u, vertex_id v, double w);
+  void register_edge(const WeightedEdge& e);    // incident sets + conn + node
+  void unregister_edge(const WeightedEdge& e);  // inverse, node must be detached
+  /// Node-only registration (dendrogram node, connectivity link, spine
+  /// index slot) without touching the incidence sets — batch insertion
+  /// defers incidence so e*_v queries exclude not-yet-merged batch edges.
+  void register_edge_node(const WeightedEdge& e);
+  void add_to_incidence(const WeightedEdge& e);
+
+  // -- spine-index-aware structural updates --
+  void set_parent_tracked(edge_id e, edge_id p);
+  void apply_changes_tracked(std::span<const std::pair<edge_id, edge_id>> changes);
+
+  // -- shared algorithm pieces --
+  /// Walk-based merge of the root chains with bottoms a and b (Thm 1.1).
+  void merge_spines_walk(edge_id a, edge_id b);
+  /// PWS-alternation merge (Thm 1.2); returns #pointer changes.
+  size_t merge_spines_output_sensitive(edge_id a, edge_id b);
+  /// Extract-and-parallel-merge (Thm 1.3).
+  void merge_spines_parallel(edge_id a, edge_id b);
+  /// Median/PWS divide-and-conquer merge (Thm 1.4).
+  void merge_spines_dc(edge_id a, edge_id b);
+  /// Compute the unmerge pointer changes for deleting e (both sides),
+  /// shared by erase / erase_parallel / erase_batch. Appends to `out`.
+  /// `deleted` marks every edge being deleted in the same (batch)
+  /// operation — those nodes are dropped from the relinked spines.
+  /// `parallel` selects the §3.2 shape (parallel filter over extracted
+  /// spines) over the sequential walk.
+  void unmerge_changes(edge_id e, const std::vector<char>& deleted,
+                       bool parallel,
+                       std::vector<std::pair<edge_id, edge_id>>& out);
+  /// Insert preamble: allocate, register, and return the two merge
+  /// anchors (e*_u before insertion, e*_v before insertion).
+  struct InsertPlan {
+    edge_id e;
+    edge_id eu;  // min incident edge of u in T_u (pre-insert), or kNoEdge
+    edge_id ev;  // min incident edge of v in T_v (pre-insert), or kNoEdge
+  };
+  InsertPlan prepare_insert(vertex_id u, vertex_id v, double w);
+
+  /// Star-Merge (Algorithm 3): merge satellite components into a center
+  /// component along `sat_edges` (already registered new edge nodes).
+  void star_merge(std::span<const edge_id> sat_edges,
+                  std::span<const vertex_id> center_vertices);
+
+  Rank rank_of(edge_id e) const { return dendro_.rank(e); }
+
+  // conn_ node mapping: vertex v -> v, edge e -> n_ + e.
+  int conn_vertex(vertex_id v) const { return static_cast<int>(v); }
+  int conn_edge(edge_id e) const { return static_cast<int>(n_ + e); }
+
+  vertex_id n_ = 0;
+  SpineIndex index_kind_;
+  Dendrogram dendro_;
+  std::vector<WeightedEdge> edge_slots_;
+  std::vector<edge_id> free_ids_;
+  std::vector<std::set<Rank>> incident_;  // per vertex, orders by rank
+  LinkCutTree conn_;   // input forest: vertices + one node per edge
+  LinkCutTree spine_;  // dendrogram spine index (kLct mode)
+  std::vector<char> deleted_mark_;  // reusable scratch for unmerges
+  std::unique_ptr<rctree::RcForest> rc_spine_;  // kRc mode (see src/rctree)
+};
+
+}  // namespace dynsld

@@ -1,0 +1,98 @@
+// Dendrogram queries (§6.1, Table 2).
+//
+//   threshold / LCA   O(log n): path-max on the input forest
+//   cluster size      O(log n) with a spine index (PWS + subtree size),
+//                     O(|S|) fallback without one
+//   cluster report    O(|S|): child-pointer DFS from the threshold node
+//   flat clustering   O(n): union-find over the sub-threshold edges
+//
+// The *_via_crawl variants answer the same questions using only the
+// forest adjacency (what a dynamic-MSF-only pipeline could do, the
+// right-hand columns of Table 2); benchmarks contrast the two.
+#include <unordered_set>
+
+#include "dendrogram/static_sld.hpp"
+#include "dynsld/dyn_sld.hpp"
+
+namespace dynsld {
+
+namespace {
+
+/// Threshold comparison: edges with weight <= tau are merged.
+/// Rank{tau, kNoEdge} is an upper sentinel: every edge of weight tau
+/// has id < kNoEdge, hence rank strictly below the sentinel.
+Rank tau_sentinel(double tau) { return Rank{tau, kNoEdge}; }
+
+}  // namespace
+
+bool DynSLD::same_cluster(vertex_id s, vertex_id t, double tau) {
+  if (s == t) return true;
+  if (!connected(s, t)) return false;
+  return max_edge_on_path(s, t).weight <= tau;
+}
+
+uint64_t DynSLD::cluster_size(vertex_id u, double tau) {
+  edge_id estar = min_incident_edge(u);
+  if (estar == kNoEdge || edge_slots_[estar].weight > tau) return 1;
+  // Highest cluster on u's spine still within the threshold.
+  edge_id top = idx_spine_search_below(estar, tau_sentinel(tau));
+  assert(top != kNoEdge);
+  // A cluster with k internal merge nodes spans k+1 vertices.
+  return idx_subtree_size(top) + 1;
+}
+
+std::vector<vertex_id> DynSLD::cluster_report(vertex_id u, double tau) {
+  edge_id estar = min_incident_edge(u);
+  if (estar == kNoEdge || edge_slots_[estar].weight > tau) return {u};
+  edge_id top = idx_spine_search_below(estar, tau_sentinel(tau));
+  assert(top != kNoEdge);
+  // DFS over child pointers; the cluster's vertices are exactly the
+  // endpoints of the edges in the subtree.
+  std::unordered_set<vertex_id> verts;
+  std::vector<edge_id> stack{top};
+  while (!stack.empty()) {
+    edge_id e = stack.back();
+    stack.pop_back();
+    const auto& nd = dendro_.node(e);
+    verts.insert(nd.u);
+    verts.insert(nd.v);
+    for (edge_id c : nd.child) {
+      if (c != kNoEdge) stack.push_back(c);
+    }
+  }
+  return {verts.begin(), verts.end()};
+}
+
+std::vector<vertex_id> DynSLD::cluster_report_via_crawl(vertex_id u, double tau) {
+  // MSF-only strategy: breadth-first crawl over edges within threshold.
+  std::unordered_set<vertex_id> seen{u};
+  std::vector<vertex_id> queue{u};
+  for (size_t head = 0; head < queue.size(); ++head) {
+    vertex_id x = queue[head];
+    for (const Rank& r : incident_[x]) {
+      const WeightedEdge& ed = edge_slots_[r.id];
+      if (ed.weight > tau) break;  // incident sets are rank-ordered
+      vertex_id y = ed.other(x);
+      if (seen.insert(y).second) queue.push_back(y);
+    }
+  }
+  return queue;
+}
+
+uint64_t DynSLD::cluster_size_via_crawl(vertex_id u, double tau) {
+  return cluster_report_via_crawl(u, tau).size();
+}
+
+std::vector<vertex_id> DynSLD::flat_clustering(double tau) {
+  UnionFind uf(n_);
+  for (edge_id e = 0; e < edge_slots_.size(); ++e) {
+    if (!dendro_.alive(e)) continue;
+    const WeightedEdge& ed = edge_slots_[e];
+    if (ed.weight <= tau) uf.unite(ed.u, ed.v);
+  }
+  std::vector<vertex_id> label(n_);
+  for (vertex_id v = 0; v < n_; ++v) label[v] = uf.find(v);
+  return label;
+}
+
+}  // namespace dynsld

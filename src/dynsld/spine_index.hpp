@@ -1,0 +1,20 @@
+// Spine-index selection for DynSLD.
+//
+// The sequential height-bounded algorithms (Thm 1.1) walk parent
+// pointers and need no auxiliary structure (kPointer). The
+// output-sensitive algorithms (Thms 1.2/1.4) and the O(log n) cluster
+// size query (§6.1) need path weight search / path median / subtree
+// size on the dendrogram, provided by a dynamic tree maintained in
+// lockstep with every parent change: a link-cut tree (kLct, O(log n)
+// amortized) or the paper's rake-compress tree (kRc, §3.2).
+#pragma once
+
+namespace dynsld {
+
+enum class SpineIndex {
+  kPointer,  // no index: O(h) walks only
+  kLct,      // splay link-cut tree over the dendrogram
+  kRc,       // rake-compress tree over the dendrogram (paper-faithful)
+};
+
+}  // namespace dynsld

@@ -1,0 +1,297 @@
+// Output-sensitive insertion algorithms:
+//   - Theorem 1.2 (§4.2): sequential PWS-alternation spine merge, doing
+//     exactly c path weight searches and c pointer changes.
+//   - Theorem 1.4 (§4.3): divide-and-conquer spine merge driven by path
+//     median + PWS queries; the recursion's two halves are independent
+//     and run under par_do when the backend's queries are read-only
+//     (RC trees). Changes are collected and applied in one batch.
+// Also hosts the spine-index query dispatch shared with queries.cpp.
+#include <algorithm>
+
+#include "dynsld/dyn_sld.hpp"
+#include "parallel/par.hpp"
+#include "parallel/stats.hpp"
+#include "rctree/rc_tree.hpp"
+
+namespace dynsld {
+
+// ---------------------------------------------------------------------
+// Spine-index dispatch.
+// ---------------------------------------------------------------------
+
+edge_id DynSLD::idx_spine_search_below(edge_id x, Rank w) {
+  stats::bump(stats::counters().pws_queries);
+  if (index_kind_ == SpineIndex::kLct) {
+    int got = spine_.spine_search_below(static_cast<int>(x), w);
+    return got == LinkCutTree::kNull ? kNoEdge : static_cast<edge_id>(got);
+  }
+  if (index_kind_ == SpineIndex::kRc) {
+    return rc_spine_->spine_search_below(x, w);
+  }
+  // Pointer fallback: O(h) walk (used only by queries, never by the
+  // output-sensitive algorithms, which require an index).
+  edge_id best = kNoEdge;
+  for (edge_id t = x; t != kNoEdge; t = dendro_.parent(t)) {
+    if (rank_of(t) < w) {
+      best = t;
+    } else {
+      break;  // ranks increase upward; no later node can qualify
+    }
+  }
+  return best;
+}
+
+edge_id DynSLD::idx_spine_search_above(edge_id x, Rank w) {
+  stats::bump(stats::counters().pws_queries);
+  if (index_kind_ == SpineIndex::kLct) {
+    int got = spine_.spine_search_above(static_cast<int>(x), w);
+    return got == LinkCutTree::kNull ? kNoEdge : static_cast<edge_id>(got);
+  }
+  if (index_kind_ == SpineIndex::kRc) {
+    // Derived from PWS: the successor of (max node < w), or the path
+    // bottom when everything on the path exceeds w.
+    if (w < rank_of(x)) return x;
+    edge_id below = rc_spine_->spine_search_below(x, w);
+    size_t i = idx_spine_index_from_bottom(x, below);
+    size_t len = idx_spine_length(x);
+    return i + 1 < len ? idx_spine_select_from_bottom(x, i + 1) : kNoEdge;
+  }
+  edge_id best = kNoEdge;
+  for (edge_id t = x; t != kNoEdge; t = dendro_.parent(t)) {
+    if (w < rank_of(t)) {
+      best = t;
+      break;  // first (lowest) node above w is the answer
+    }
+  }
+  return best;
+}
+
+size_t DynSLD::idx_spine_length(edge_id x) {
+  if (index_kind_ == SpineIndex::kLct) {
+    return static_cast<size_t>(spine_.spine_length(static_cast<int>(x)));
+  }
+  if (index_kind_ == SpineIndex::kRc) return rc_spine_->spine_length(x);
+  size_t len = 0;
+  for (edge_id t = x; t != kNoEdge; t = dendro_.parent(t)) ++len;
+  return len;
+}
+
+edge_id DynSLD::idx_spine_select_from_bottom(edge_id x, size_t i) {
+  size_t len = idx_spine_length(x);
+  assert(i < len);
+  if (index_kind_ == SpineIndex::kLct) {
+    return static_cast<edge_id>(spine_.spine_select_from_top(
+        static_cast<int>(x), static_cast<int>(len - 1 - i)));
+  }
+  if (index_kind_ == SpineIndex::kRc) {
+    return rc_spine_->spine_select_from_top(x, len - 1 - i);
+  }
+  edge_id t = x;
+  for (size_t k = 0; k < i; ++k) t = dendro_.parent(t);
+  return t;
+}
+
+size_t DynSLD::idx_spine_index_from_bottom(edge_id x, edge_id t) {
+  // t lies on the root path of x; its own root path has length
+  // (index from top) + 1, so index-from-bottom = len(x) - len(t).
+  return idx_spine_length(x) - idx_spine_length(t);
+}
+
+uint64_t DynSLD::idx_subtree_size(edge_id e) {
+  if (index_kind_ == SpineIndex::kLct) {
+    return spine_.subtree_size(static_cast<int>(e));
+  }
+  if (index_kind_ == SpineIndex::kRc) return rc_spine_->subtree_size(e);
+  // Pointer fallback: explicit DFS over child pointers.
+  uint64_t count = 0;
+  std::vector<edge_id> stack{e};
+  while (!stack.empty()) {
+    edge_id t = stack.back();
+    stack.pop_back();
+    ++count;
+    for (edge_id c : dendro_.node(t).child) {
+      if (c != kNoEdge) stack.push_back(c);
+    }
+  }
+  return count;
+}
+
+std::vector<edge_id> DynSLD::extract_spine(edge_id e) {
+  if (index_kind_ == SpineIndex::kRc) return rc_spine_->spine(e);
+  return dendro_.spine(e);
+}
+
+// ---------------------------------------------------------------------
+// Theorem 1.2: PWS-alternation merge.
+// ---------------------------------------------------------------------
+
+size_t DynSLD::merge_spines_output_sensitive(edge_id a, edge_id b) {
+  assert(index_kind_ != SpineIndex::kPointer &&
+         "output-sensitive merge requires a spine index");
+  // Merge the root chains with bottoms a and b (distinct trees). Each
+  // iteration finds, with one PWS query, the node of one chain whose
+  // parent must become the current node of the other chain (Fig. 4),
+  // then continues from the displaced parent. Exactly c queries and c
+  // pointer changes.
+  if (rank_of(b) < rank_of(a)) std::swap(a, b);
+  edge_id from = a;    // chain currently receiving
+  edge_id attach = b;  // node to splice in above the found position
+  size_t changes = 0;
+  while (true) {
+    edge_id x = idx_spine_search_below(from, rank_of(attach));
+    assert(x != kNoEdge);  // rank(from) < rank(attach) guarantees a hit
+    edge_id p_old = dendro_.parent(x);
+    set_parent_tracked(x, attach);
+    ++changes;
+    if (p_old == kNoEdge) break;
+    from = attach;
+    attach = p_old;
+  }
+  return changes;
+}
+
+edge_id DynSLD::insert_output_sensitive(vertex_id u, vertex_id v, double w) {
+  InsertPlan plan = prepare_insert(u, v, w);
+  if (plan.eu != kNoEdge) merge_spines_output_sensitive(plan.e, plan.eu);
+  if (plan.ev != kNoEdge) merge_spines_output_sensitive(plan.e, plan.ev);
+  return plan.e;
+}
+
+// ---------------------------------------------------------------------
+// Theorem 1.4: divide-and-conquer merge (median + PWS).
+// ---------------------------------------------------------------------
+
+namespace {
+
+/// One spine (root chain) addressed by index arithmetic against the
+/// live spine index. Indices are 0-based from the bottom anchor.
+struct SpineRef {
+  DynSLD* self;
+  edge_id bottom;
+  size_t len;
+
+  edge_id sel(size_t i) const { return self->idx_spine_select_from_bottom(bottom, i); }
+  Rank rank(size_t i) const { return self->dendrogram().rank(sel(i)); }
+
+  /// Index of the max node with rank < w, or -1; clamped to [lo, hi].
+  long search_below(Rank w, long lo, long hi) const {
+    edge_id t = self->idx_spine_search_below(bottom, w);
+    if (t == kNoEdge) return lo - 1;
+    long i = static_cast<long>(self->idx_spine_index_from_bottom(bottom, t));
+    if (i < lo) return lo - 1;
+    return std::min(i, hi);
+  }
+
+  /// Index of the min node with rank > w, clamped to [lo, hi+1].
+  long search_above(Rank w, long lo, long hi) const {
+    edge_id t = self->idx_spine_search_above(bottom, w);
+    if (t == kNoEdge) return hi + 1;
+    long i = static_cast<long>(self->idx_spine_index_from_bottom(bottom, t));
+    if (i > hi) return hi + 1;
+    return std::max(i, lo);
+  }
+};
+
+struct DcMerger {
+  SpineRef A, B;
+  bool can_fork;
+  std::vector<std::pair<edge_id, edge_id>> changes;
+
+  void emit(edge_id c, edge_id p) { changes.emplace_back(c, p); }
+
+  /// Set the parents of all nodes in A[alo..ahi] and B[blo..bhi] (index
+  /// ranges inclusive) to their successor in the merged order; the
+  /// overall maximum gets parent `above`. `a_leads` alternates which
+  /// spine supplies the median (the work-efficiency trick of §4.3).
+  void run(long alo, long ahi, long blo, long bhi, edge_id above, bool a_leads) {
+    if (blo > bhi && alo > ahi) return;
+    if (blo > bhi) {
+      emit(A.sel(static_cast<size_t>(ahi)), above);  // A's top joins above;
+      return;                                        // interior unchanged
+    }
+    if (alo > ahi) {
+      emit(B.sel(static_cast<size_t>(bhi)), above);
+      return;
+    }
+    if (!a_leads) {
+      std::swap(A, B);
+      std::swap(alo, blo);
+      std::swap(ahi, bhi);
+      run(alo, ahi, blo, bhi, above, true);
+      std::swap(A, B);  // restore for the caller's frame
+      return;
+    }
+    stats::bump(stats::counters().median_queries);
+    long am = (alo + ahi) / 2;
+    Rank rm = A.rank(static_cast<size_t>(am));
+
+    long bx = B.search_below(rm, blo, bhi);  // max B < median
+    if (bx < blo) {
+      // All of B lies above the median: split A around B's bottom.
+      Rank rb = B.rank(static_cast<size_t>(blo));
+      long k = A.search_above(rb, am + 1, ahi);  // min A > B-bottom
+      emit(A.sel(static_cast<size_t>(k - 1)), B.sel(static_cast<size_t>(blo)));
+      run(k, ahi, blo, bhi, above, false);
+      return;
+    }
+    if (bx == bhi) {
+      // All of B lies below A's part above the median's low side.
+      Rank rx = B.rank(static_cast<size_t>(bx));
+      long j = A.search_below(rx, alo, am - 1);  // max A < B-top
+      run(alo, j, blo, bx, A.sel(static_cast<size_t>(j + 1)), false);
+      emit(A.sel(static_cast<size_t>(ahi)), above);  // A tail is on top
+      return;
+    }
+    // General case (Fig. 5): x_v = B[bx], y_v = B[bx+1] straddle the
+    // median; find the A split points hugging them.
+    Rank rxv = B.rank(static_cast<size_t>(bx));
+    Rank ryv = B.rank(static_cast<size_t>(bx + 1));
+    long j = A.search_below(rxv, alo, am - 1);   // max A < x_v
+    long k = A.search_above(ryv, am + 1, ahi);   // min A > y_v
+    // Middle = A[j+1 .. k-1], nonempty (contains the median).
+    edge_id mid_bottom = A.sel(static_cast<size_t>(j + 1));
+    emit(A.sel(static_cast<size_t>(k - 1)), B.sel(static_cast<size_t>(bx + 1)));
+    if (can_fork) {
+      DcMerger lower{A, B, can_fork, {}};
+      DcMerger upper{A, B, can_fork, {}};
+      par::par_do(
+          [&] { lower.run(alo, j, blo, bx, mid_bottom, false); },
+          [&] { upper.run(k, ahi, bx + 1, bhi, above, false); });
+      changes.insert(changes.end(), lower.changes.begin(), lower.changes.end());
+      changes.insert(changes.end(), upper.changes.begin(), upper.changes.end());
+    } else {
+      run(alo, j, blo, bx, mid_bottom, false);
+      run(k, ahi, bx + 1, bhi, above, false);
+    }
+  }
+};
+
+}  // namespace
+
+void DynSLD::merge_spines_dc(edge_id a, edge_id b) {
+  assert(index_kind_ != SpineIndex::kPointer &&
+         "divide-and-conquer merge requires a spine index");
+  size_t la = idx_spine_length(a);
+  size_t lb = idx_spine_length(b);
+  // Queries during the divide phase must see the unmodified spines, so
+  // changes are collected and applied as one batch (basic variant of
+  // §4.3; the interleaved work-efficient variant needs batch RC
+  // updates, see DESIGN.md). Concurrent reads are safe only on the RC
+  // backend; the LCT backend restructures on reads.
+  DcMerger m{SpineRef{this, a, la}, SpineRef{this, b, lb},
+             /*can_fork=*/index_kind_ == SpineIndex::kRc,
+             {}};
+  m.run(0, static_cast<long>(la) - 1, 0, static_cast<long>(lb) - 1, kNoEdge,
+        /*a_leads=*/true);
+  apply_changes_tracked(m.changes);
+}
+
+edge_id DynSLD::insert_parallel_output_sensitive(vertex_id u, vertex_id v,
+                                                 double w) {
+  InsertPlan plan = prepare_insert(u, v, w);
+  if (plan.eu != kNoEdge) merge_spines_dc(plan.e, plan.eu);
+  if (plan.ev != kNoEdge) merge_spines_dc(plan.e, plan.ev);
+  return plan.e;
+}
+
+}  // namespace dynsld

@@ -1,0 +1,160 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "parallel/random.hpp"
+
+namespace dynsld::gen {
+namespace {
+
+using par::Rng;
+
+// Assign weights to m edges according to the requested pattern.
+// kBalanced produces weights such that merging in weight order builds a
+// balanced dendrogram over a path: weight of edge i = number of trailing
+// zeros pattern (tournament order).
+std::vector<double> make_weights(size_t m, Weights pattern, uint64_t seed) {
+  std::vector<double> w(m);
+  switch (pattern) {
+    case Weights::kIncreasing:
+      for (size_t i = 0; i < m; ++i) w[i] = static_cast<double>(i + 1);
+      break;
+    case Weights::kDecreasing:
+      for (size_t i = 0; i < m; ++i) w[i] = static_cast<double>(m - i);
+      break;
+    case Weights::kRandom: {
+      std::vector<size_t> perm(m);
+      std::iota(perm.begin(), perm.end(), size_t{1});
+      Rng rng(seed);
+      for (size_t i = m; i > 1; --i)
+        std::swap(perm[i - 1], perm[rng.next_bounded(i)]);
+      for (size_t i = 0; i < m; ++i) w[i] = static_cast<double>(perm[i]);
+      break;
+    }
+    case Weights::kBalanced:
+      // Tournament order: edge i gets weight by the position of its
+      // lowest set bit, so merges pair up neighbors level by level and
+      // the dendrogram height is O(log m).
+      for (size_t i = 0; i < m; ++i) {
+        size_t level = 0, x = i + 1;
+        while ((x & 1) == 0) {
+          ++level;
+          x >>= 1;
+        }
+        w[i] = static_cast<double>(level) * static_cast<double>(m + 1) +
+               static_cast<double>(i + 1);
+      }
+      break;
+  }
+  return w;
+}
+
+Forest from_pairs(vertex_id n, const std::vector<std::pair<vertex_id, vertex_id>>& pairs,
+                  Weights pattern, uint64_t seed) {
+  Forest f;
+  f.n = n;
+  auto w = make_weights(pairs.size(), pattern, seed);
+  f.edges.reserve(pairs.size());
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    f.edges.push_back(WeightedEdge{pairs[i].first, pairs[i].second, w[i],
+                                   static_cast<edge_id>(i)});
+  }
+  return f;
+}
+
+}  // namespace
+
+Forest path(vertex_id n, Weights pattern, uint64_t seed) {
+  std::vector<std::pair<vertex_id, vertex_id>> pairs;
+  for (vertex_id i = 0; i + 1 < n; ++i) pairs.emplace_back(i, i + 1);
+  return from_pairs(n, pairs, pattern, seed);
+}
+
+Forest star(vertex_id n, Weights pattern, uint64_t seed) {
+  std::vector<std::pair<vertex_id, vertex_id>> pairs;
+  for (vertex_id i = 1; i < n; ++i) pairs.emplace_back(0, i);
+  return from_pairs(n, pairs, pattern, seed);
+}
+
+Forest caterpillar(vertex_id n, Weights pattern, uint64_t seed) {
+  std::vector<std::pair<vertex_id, vertex_id>> pairs;
+  vertex_id spine = n / 2;
+  for (vertex_id i = 0; i + 1 < spine; ++i) pairs.emplace_back(i, i + 1);
+  for (vertex_id i = spine; i < n; ++i) pairs.emplace_back(i - spine, i);
+  return from_pairs(n, pairs, pattern, seed);
+}
+
+Forest binary_tree(vertex_id n, Weights pattern, uint64_t seed) {
+  std::vector<std::pair<vertex_id, vertex_id>> pairs;
+  for (vertex_id i = 1; i < n; ++i) pairs.emplace_back((i - 1) / 2, i);
+  return from_pairs(n, pairs, pattern, seed);
+}
+
+Forest random_tree(vertex_id n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::pair<vertex_id, vertex_id>> pairs;
+  for (vertex_id i = 1; i < n; ++i) {
+    pairs.emplace_back(static_cast<vertex_id>(rng.next_bounded(i)), i);
+  }
+  return from_pairs(n, pairs, Weights::kRandom, seed + 1);
+}
+
+Forest random_forest(vertex_id n, vertex_id num_components, uint64_t seed) {
+  Forest f = random_tree(n, seed);
+  if (num_components <= 1 || f.edges.empty()) return f;
+  // Drop num_components-1 edges (deterministic sample) to split the tree.
+  Rng rng(seed + 7);
+  vertex_id drops = std::min<vertex_id>(num_components - 1,
+                                        static_cast<vertex_id>(f.edges.size()));
+  for (vertex_id d = 0; d < drops; ++d) {
+    size_t i = rng.next_bounded(f.edges.size());
+    f.edges.erase(f.edges.begin() + static_cast<long>(i));
+  }
+  // Reassign ids to stay index-aligned.
+  for (size_t i = 0; i < f.edges.size(); ++i)
+    f.edges[i].id = static_cast<edge_id>(i);
+  return f;
+}
+
+Forest lower_bound_stars(vertex_id h, vertex_id num_stars) {
+  Forest f;
+  f.n = num_stars * (h + 1);
+  f.edges.reserve(static_cast<size_t>(num_stars) * h);
+  edge_id next_id = 0;
+  for (vertex_id s = 0; s < num_stars; ++s) {
+    vertex_id center = s * (h + 1);
+    for (vertex_id j = 0; j < h; ++j) {
+      // Star s (1-based s+1): weights s+1, h+(s+1), 2h+(s+1), ...
+      double w = static_cast<double>(j) * static_cast<double>(h) +
+                 static_cast<double>(s + 1);
+      f.edges.push_back(WeightedEdge{center, center + 1 + j, w, next_id++});
+    }
+  }
+  return f;
+}
+
+Graph random_geometric(vertex_id n, double radius, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> x(n), y(n);
+  for (vertex_id i = 0; i < n; ++i) {
+    x[i] = rng.next_double();
+    y[i] = rng.next_double();
+  }
+  Graph g;
+  g.n = n;
+  edge_id next_id = 0;
+  for (vertex_id i = 0; i < n; ++i) {
+    for (vertex_id j = i + 1; j < n; ++j) {
+      double dx = x[i] - x[j], dy = y[i] - y[j];
+      double d = std::sqrt(dx * dx + dy * dy);
+      if (d <= radius) {
+        g.edges.push_back(WeightedEdge{i, j, d, next_id++});
+      }
+    }
+  }
+  return g;
+}
+
+}  // namespace dynsld::gen

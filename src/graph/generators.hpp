@@ -1,0 +1,64 @@
+// Workload generators for tests, examples and benchmarks: the tree
+// families the paper's bounds are parameterized by (height-h families,
+// the Thm 5.1 lower-bound instance) plus generic random forests and the
+// geometric graphs used by the end-to-end pipeline experiment.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace dynsld::gen {
+
+/// A generated forest: `n` vertices and a set of edges with ids assigned
+/// 0..edges.size()-1 (matching their index).
+struct Forest {
+  vertex_id n = 0;
+  std::vector<WeightedEdge> edges;
+};
+
+/// Weight pattern for path/star/caterpillar generators.
+enum class Weights {
+  kIncreasing,  // 1, 2, 3, ... => path SLD of height n-1
+  kDecreasing,  // n-1, ..., 2, 1
+  kRandom,      // deterministic pseudo-random permutation of 1..m
+  kBalanced,    // weights that make the SLD a balanced binary tree
+};
+
+/// Path graph v0 - v1 - ... - v_{n-1}.
+Forest path(vertex_id n, Weights pattern, uint64_t seed = 1);
+
+/// Star with center 0 and n-1 leaves.
+Forest star(vertex_id n, Weights pattern, uint64_t seed = 1);
+
+/// Caterpillar: a path of n/2 spine vertices, each with one leg.
+Forest caterpillar(vertex_id n, Weights pattern, uint64_t seed = 1);
+
+/// Complete binary tree shape with random weights: SLD height ~log n
+/// under kBalanced, random otherwise.
+Forest binary_tree(vertex_id n, Weights pattern, uint64_t seed = 1);
+
+/// Random tree by uniform random attachment: vertex i attaches to a
+/// uniform vertex j < i. Random weights.
+Forest random_tree(vertex_id n, uint64_t seed = 1);
+
+/// Random forest: random tree minus a deterministic sample of edges.
+Forest random_forest(vertex_id n, vertex_id num_components, uint64_t seed = 1);
+
+/// The Theorem 5.1 lower-bound family: n/(h+1) disjoint stars of h+1
+/// vertices; star i (1-based) has edge weights (i, h+i, 2h+i, ...), so
+/// each star's SLD is a path of height h and inserting a weight-0 edge
+/// between two star centers changes Omega(h) parent pointers.
+Forest lower_bound_stars(vertex_id h, vertex_id num_stars);
+
+/// Random geometric graph: n points in the unit square (deterministic),
+/// an edge between every pair closer than `radius`, weight = distance.
+/// Used by the dynamic-MSF end-to-end pipeline experiment.
+struct Graph {
+  vertex_id n = 0;
+  std::vector<WeightedEdge> edges;
+};
+Graph random_geometric(vertex_id n, double radius, uint64_t seed = 1);
+
+}  // namespace dynsld::gen

@@ -1,0 +1,46 @@
+// Core identifier and edge types shared by every module.
+//
+// Ranks (§2.1): the SLD is defined by the total order on edges given by
+// weight with ties broken consistently; we use (weight, edge_id)
+// lexicographic order everywhere, so dendrograms are unique and two
+// independently computed dendrograms of the same forest are comparable
+// field-by-field.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <limits>
+
+namespace dynsld {
+
+using vertex_id = uint32_t;
+using edge_id = uint32_t;
+
+inline constexpr vertex_id kNoVertex = std::numeric_limits<vertex_id>::max();
+inline constexpr edge_id kNoEdge = std::numeric_limits<edge_id>::max();
+
+/// Total order on edges: weight, then id (consistent tie-breaking).
+struct Rank {
+  double weight = 0.0;
+  edge_id id = kNoEdge;
+
+  friend constexpr auto operator<=>(const Rank&, const Rank&) = default;
+};
+
+/// An undirected weighted edge. `id` is the stable identity used as the
+/// dendrogram node index for this edge.
+struct WeightedEdge {
+  vertex_id u = kNoVertex;
+  vertex_id v = kNoVertex;
+  double weight = 0.0;
+  edge_id id = kNoEdge;
+
+  constexpr Rank rank() const { return Rank{weight, id}; }
+
+  /// The endpoint that is not `x`; precondition: x is an endpoint.
+  constexpr vertex_id other(vertex_id x) const { return x == u ? v : u; }
+
+  friend constexpr bool operator==(const WeightedEdge&, const WeightedEdge&) = default;
+};
+
+}  // namespace dynsld

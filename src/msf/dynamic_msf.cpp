@@ -1,0 +1,135 @@
+#include "msf/dynamic_msf.hpp"
+
+#include <cassert>
+
+namespace dynsld {
+
+DynamicClustering::DynamicClustering(vertex_id n, SpineIndex index)
+    : n_(n), sld_(n, index), nontree_(n) {}
+
+void DynamicClustering::add_nontree(graph_edge g) {
+  nontree_[edges_[g].u].insert(grank(g));
+  nontree_[edges_[g].v].insert(grank(g));
+}
+
+void DynamicClustering::remove_nontree(graph_edge g) {
+  nontree_[edges_[g].u].erase(grank(g));
+  nontree_[edges_[g].v].erase(grank(g));
+}
+
+void DynamicClustering::make_tree(graph_edge g) {
+  GraphEdge& e = edges_[g];
+  e.sld_id = sld_.insert(e.u, e.v, e.w);
+  if (sld_to_graph_.size() <= e.sld_id) sld_to_graph_.resize(e.sld_id + 1);
+  sld_to_graph_[e.sld_id] = g;
+}
+
+DynamicClustering::graph_edge DynamicClustering::insert_edge(vertex_id u,
+                                                             vertex_id v,
+                                                             double w) {
+  assert(u < n_ && v < n_ && u != v);
+  graph_edge g;
+  if (!free_ids_.empty()) {
+    g = free_ids_.back();
+    free_ids_.pop_back();
+  } else {
+    g = static_cast<graph_edge>(edges_.size());
+    edges_.emplace_back();
+  }
+  edges_[g] = GraphEdge{u, v, w, kNoEdge, true};
+  ++num_alive_;
+
+  if (!sld_.connected(u, v)) {
+    make_tree(g);
+    return g;
+  }
+  // Cycle: compare against the heaviest tree edge on the u..v path,
+  // under the (weight, graph id) total order.
+  WeightedEdge heavy = sld_.max_edge_on_path(u, v);
+  graph_edge hg = sld_to_graph_[heavy.id];
+  if (grank(g) < grank(hg)) {
+    sld_.erase(heavy.id);
+    edges_[hg].sld_id = kNoEdge;
+    add_nontree(hg);
+    make_tree(g);
+  } else {
+    add_nontree(g);
+  }
+  return g;
+}
+
+void DynamicClustering::find_replacement(vertex_id u, vertex_id v) {
+  // Lockstep BFS over tree adjacency to find the smaller component.
+  std::vector<vertex_id> comp[2] = {{u}, {v}};
+  std::set<vertex_id> seen[2] = {{u}, {v}};
+  size_t head[2] = {0, 0};
+  int small = -1;
+  while (true) {
+    bool progressed = false;
+    for (int s = 0; s < 2; ++s) {
+      if (head[s] >= comp[s].size()) {
+        small = s;
+        break;
+      }
+      vertex_id x = comp[s][head[s]++];
+      for (const Rank& r : sld_.incident_edges(x)) {
+        vertex_id y = sld_.edge(r.id).other(x);
+        if (seen[s].insert(y).second) comp[s].push_back(y);
+      }
+      progressed = true;
+    }
+    if (small >= 0) break;
+    if (!progressed) break;
+  }
+  if (small < 0) small = comp[0].size() <= comp[1].size() ? 0 : 1;
+  // Minimum non-tree edge with exactly one endpoint in the small side.
+  // Per vertex, the incident sets are rank-ordered, so the first
+  // crossing entry is that vertex's best candidate.
+  Rank best{0, kNoGraphEdge};
+  bool found = false;
+  for (vertex_id x : comp[small]) {
+    for (const Rank& r : nontree_[x]) {
+      graph_edge g = static_cast<graph_edge>(r.id);
+      const GraphEdge& ge = edges_[g];
+      vertex_id y = ge.u == x ? ge.v : ge.u;
+      if (seen[small].count(y)) continue;  // internal to the small side
+      if (!found || r < best) {
+        best = r;
+        found = true;
+      }
+      break;
+    }
+  }
+  if (found) {
+    graph_edge g = static_cast<graph_edge>(best.id);
+    remove_nontree(g);
+    make_tree(g);
+  }
+}
+
+void DynamicClustering::erase_edge(graph_edge g) {
+  assert(edge_alive(g));
+  GraphEdge e = edges_[g];
+  if (e.sld_id == kNoEdge) {
+    remove_nontree(g);
+  } else {
+    sld_.erase(e.sld_id);
+  }
+  edges_[g] = GraphEdge{};
+  --num_alive_;
+  free_ids_.push_back(g);
+  if (e.sld_id != kNoEdge) find_replacement(e.u, e.v);
+}
+
+std::vector<WeightedEdge> DynamicClustering::forest_edges() const {
+  std::vector<WeightedEdge> out;
+  for (graph_edge g = 0; g < edges_.size(); ++g) {
+    const GraphEdge& e = edges_[g];
+    if (e.alive && e.sld_id != kNoEdge) {
+      out.push_back(WeightedEdge{e.u, e.v, e.w, g});
+    }
+  }
+  return out;
+}
+
+}  // namespace dynsld

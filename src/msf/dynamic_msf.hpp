@@ -1,0 +1,100 @@
+// End-to-end fully-dynamic single-linkage clustering (Problem 2):
+// a dynamic weighted *graph* whose minimum spanning forest is maintained
+// and fed into DynSLD, so the explicit dendrogram of the graph is
+// available after every edge insertion/deletion.
+//
+// MSF maintenance (DESIGN.md substitution #4 for Holm et al. [33] /
+// Tseng et al. [48]):
+//   - insertion: if the endpoints are connected, find the maximum edge
+//     on the tree path (O(log n) path query); if the new edge is
+//     lighter, swap (one DynSLD erase + insert), else store it as a
+//     non-tree edge. O(log n + dendrogram update).
+//   - deletion of a non-tree edge: O(log deg).
+//   - deletion of a tree edge: cut, then scan the smaller component's
+//     non-tree edges for the minimum replacement (lockstep BFS decides
+//     the smaller side). Worst-case O(smaller side); the forest is
+//     always the exact MSF under the (weight, graph-edge-id) order.
+//
+// Graph edges have their own id space (handles returned by insert_edge);
+// the underlying forest-edge ids are internal.
+#pragma once
+
+#include <set>
+#include <vector>
+
+#include "dynsld/dyn_sld.hpp"
+
+namespace dynsld {
+
+class DynamicClustering {
+ public:
+  using graph_edge = uint32_t;
+  static constexpr graph_edge kNoGraphEdge = static_cast<graph_edge>(-1);
+
+  explicit DynamicClustering(vertex_id n, SpineIndex index = SpineIndex::kLct);
+
+  vertex_id num_vertices() const { return n_; }
+  size_t num_edges() const { return num_alive_; }
+  size_t num_tree_edges() const { return sld_.num_edges(); }
+
+  /// Insert a weighted graph edge; returns its handle.
+  graph_edge insert_edge(vertex_id u, vertex_id v, double w);
+
+  /// Delete a graph edge by handle.
+  void erase_edge(graph_edge g);
+
+  bool edge_alive(graph_edge g) const {
+    return g < edges_.size() && edges_[g].alive;
+  }
+
+  /// Is g currently part of the minimum spanning forest?
+  bool is_tree_edge(graph_edge g) const {
+    return edge_alive(g) && edges_[g].sld_id != kNoEdge;
+  }
+
+  /// Endpoints and weight of a live edge (id field = g).
+  WeightedEdge edge(graph_edge g) const {
+    const GraphEdge& e = edges_[g];
+    return WeightedEdge{e.u, e.v, e.w, g};
+  }
+
+  /// The MSF edges as (u, v, w, graph id).
+  std::vector<WeightedEdge> forest_edges() const;
+
+  /// The maintained dendrogram of the graph (node ids are internal
+  /// forest-edge ids; see sld() for queries).
+  const Dendrogram& dendrogram() const { return sld_.dendrogram(); }
+
+  /// The underlying DynSLD, for the §6.1 queries (same_cluster,
+  /// cluster_size, cluster_report, flat_clustering).
+  DynSLD& sld() { return sld_; }
+
+ private:
+  struct GraphEdge {
+    vertex_id u = kNoVertex;
+    vertex_id v = kNoVertex;
+    double w = 0.0;
+    edge_id sld_id = kNoEdge;  // forest edge id when in the MSF
+    bool alive = false;
+  };
+
+  Rank grank(graph_edge g) const { return Rank{edges_[g].w, g}; }
+  void add_nontree(graph_edge g);
+  void remove_nontree(graph_edge g);
+  void make_tree(graph_edge g);
+  /// Find and reinstate the minimum replacement edge across the cut
+  /// separating u's and v's components (after a tree-edge removal).
+  void find_replacement(vertex_id u, vertex_id v);
+
+  vertex_id n_;
+  DynSLD sld_;
+  std::vector<GraphEdge> edges_;
+  std::vector<graph_edge> free_ids_;
+  size_t num_alive_ = 0;
+  // Non-tree edges incident to each vertex, ordered by (weight, id).
+  std::vector<std::set<Rank>> nontree_;
+  // Reverse map: forest edge id -> graph edge id.
+  std::vector<graph_edge> sld_to_graph_;
+};
+
+}  // namespace dynsld

@@ -1,0 +1,72 @@
+// Binary fork-join entry points: par_do (the model's fork/join pair) and
+// parallel_for (balanced recursive decomposition over an index range).
+// All of the paper's parallel algorithms are expressed with these two
+// calls plus the sequence primitives in primitives.hpp.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+
+#include "parallel/scheduler.hpp"
+
+namespace dynsld::par {
+
+/// Number of workers in the global pool.
+inline int num_workers() { return Scheduler::instance().num_workers(); }
+
+/// Resize the global pool (call only between parallel computations).
+inline void set_num_workers(int p) { Scheduler::instance().set_num_workers(p); }
+
+/// Run f1 and f2 as a binary fork: f2 is made stealable while the caller
+/// runs f1. Equivalent to `f1(); f2();` on a 1-worker pool.
+template <typename F1, typename F2>
+void par_do(F1&& f1, F2&& f2) {
+  Scheduler& sched = Scheduler::instance();
+  if (!sched.should_fork()) {
+    f1();
+    f2();
+    return;
+  }
+  using F2D = std::remove_reference_t<F2>;
+  Job job;
+  job.arg = static_cast<void*>(std::addressof(f2));
+  job.run = [](void* arg) { (*static_cast<F2D*>(arg))(); };
+  sched.push(&job);
+  f1();
+  if (sched.pop_if_local(&job)) {
+    f2();
+  } else {
+    sched.wait(&job);
+  }
+}
+
+namespace internal {
+
+template <typename F>
+void parallel_for_rec(size_t lo, size_t hi, size_t grain, const F& f) {
+  if (hi - lo <= grain) {
+    for (size_t i = lo; i < hi; ++i) f(i);
+    return;
+  }
+  size_t mid = lo + (hi - lo) / 2;
+  par_do([&] { parallel_for_rec(lo, mid, grain, f); },
+         [&] { parallel_for_rec(mid, hi, grain, f); });
+}
+
+}  // namespace internal
+
+/// Apply f(i) for i in [lo, hi). `grain` bounds the size of a leaf task;
+/// 0 picks a default that yields ~8 tasks per worker.
+template <typename F>
+void parallel_for(size_t lo, size_t hi, const F& f, size_t grain = 0) {
+  if (hi <= lo) return;
+  size_t n = hi - lo;
+  if (grain == 0) {
+    size_t per = n / (8 * static_cast<size_t>(num_workers())) + 1;
+    grain = per < 64 ? (n > 4096 ? 64 : per) : per;
+    if (grain == 0) grain = 1;
+  }
+  internal::parallel_for_rec(lo, hi, grain, f);
+}
+
+}  // namespace dynsld::par

@@ -1,0 +1,41 @@
+// Deterministic pseudo-randomness. Tests and workload generators need
+// reproducible streams; parallel code needs index-addressable hashing
+// (no shared RNG state). SplitMix64 provides both.
+#pragma once
+
+#include <cstdint>
+
+namespace dynsld::par {
+
+/// SplitMix64 finalizer: high-quality 64-bit mix, usable as a stateless
+/// hash for parallel random access (hash64(seed ^ i)).
+inline uint64_t hash64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Small deterministic RNG for sequential generators.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  uint64_t next() {
+    state_ += 0x9e3779b97f4a7c15ULL;
+    return hash64(state_);
+  }
+
+  /// Uniform in [0, bound).
+  uint64_t next_bounded(uint64_t bound) { return bound == 0 ? 0 : next() % bound; }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace dynsld::par

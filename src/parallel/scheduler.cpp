@@ -1,0 +1,159 @@
+#include "parallel/scheduler.hpp"
+
+#include <cstdlib>
+#include <mutex>
+#include <random>
+#include <string>
+
+namespace dynsld::par {
+namespace {
+
+// Identity of the current thread inside the pool; -1 for foreign threads.
+thread_local int tls_worker_id = -1;
+
+int default_num_workers() {
+  if (const char* env = std::getenv("DYNSLD_NUM_THREADS")) {
+    int p = std::atoi(env);
+    if (p >= 1) return p;
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+}  // namespace
+
+struct Scheduler::WorkerQueue {
+  std::mutex mu;
+  std::deque<Job*> jobs;
+
+  void push_bottom(Job* j) {
+    std::lock_guard<std::mutex> lock(mu);
+    jobs.push_back(j);
+  }
+
+  // Owner-side pop: succeeds only when `j` is still at the bottom, which
+  // with LIFO discipline means it was not stolen.
+  bool pop_bottom_if(Job* j) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (!jobs.empty() && jobs.back() == j) {
+      jobs.pop_back();
+      return true;
+    }
+    return false;
+  }
+
+  Job* steal_top() {
+    std::lock_guard<std::mutex> lock(mu);
+    if (jobs.empty()) return nullptr;
+    Job* j = jobs.front();
+    jobs.pop_front();
+    return j;
+  }
+};
+
+Scheduler& Scheduler::instance() {
+  static Scheduler sched(default_num_workers());
+  return sched;
+}
+
+Scheduler::Scheduler(int num_workers) { set_num_workers(num_workers); }
+
+Scheduler::~Scheduler() { stop_threads(); }
+
+void Scheduler::set_num_workers(int p) {
+  if (p < 1) p = 1;
+  stop_threads();
+  num_workers_ = p;
+  queues_.clear();
+  queues_.reserve(static_cast<size_t>(p));
+  for (int i = 0; i < p; ++i) queues_.push_back(std::make_unique<WorkerQueue>());
+  start_threads();
+}
+
+void Scheduler::start_threads() {
+  stop_.store(false, std::memory_order_relaxed);
+  // Worker slot 0 belongs to the external entry thread; spawn the rest.
+  for (int i = 1; i < num_workers_; ++i) {
+    threads_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+void Scheduler::stop_threads() {
+  stop_.store(true, std::memory_order_relaxed);
+  for (auto& t : threads_) t.join();
+  threads_.clear();
+}
+
+int Scheduler::register_external_thread() {
+  // The single external entry thread adopts worker slot 0.
+  tls_worker_id = 0;
+  return 0;
+}
+
+int Scheduler::current_worker() const { return tls_worker_id; }
+
+void Scheduler::push(Job* job) {
+  int id = current_worker();
+  if (id < 0) id = register_external_thread();
+  queues_[static_cast<size_t>(id)]->push_bottom(job);
+}
+
+bool Scheduler::pop_if_local(Job* job) {
+  int id = current_worker();
+  return id >= 0 && queues_[static_cast<size_t>(id)]->pop_bottom_if(job);
+}
+
+bool Scheduler::try_steal_and_run(int self) {
+  // Check the local deque first (continuations we forked while running a
+  // stolen task), then sweep the other workers.
+  static thread_local std::minstd_rand rng(
+      std::random_device{}() ^ static_cast<unsigned>(self * 0x9e3779b9u));
+  const int p = num_workers_;
+  int start = static_cast<int>(rng() % static_cast<unsigned>(p));
+  for (int k = 0; k < p; ++k) {
+    int victim = (start + k) % p;
+    Job* j = queues_[static_cast<size_t>(victim)]->steal_top();
+    if (j != nullptr) {
+      j->taken.store(true, std::memory_order_relaxed);
+      j->run(j->arg);
+      j->done.store(true, std::memory_order_release);
+      return true;
+    }
+  }
+  return false;
+}
+
+void Scheduler::wait(Job* job) {
+  int self = current_worker();
+  int spins = 0;
+  while (!job->done.load(std::memory_order_acquire)) {
+    if (try_steal_and_run(self)) {
+      spins = 0;
+      continue;
+    }
+    // The job is running on another worker and nothing is stealable:
+    // back off politely rather than burning the core the thief needs.
+    if (++spins > 64) {
+      std::this_thread::yield();
+    }
+  }
+}
+
+void Scheduler::worker_loop(int id) {
+  tls_worker_id = id;
+  int idle = 0;
+  while (!stop_.load(std::memory_order_relaxed)) {
+    if (try_steal_and_run(id)) {
+      idle = 0;
+      continue;
+    }
+    if (++idle > 64) {
+      std::this_thread::yield();
+      if (idle > 4096) {
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+      }
+    }
+  }
+}
+
+}  // namespace dynsld::par

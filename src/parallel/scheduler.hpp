@@ -1,0 +1,87 @@
+// Work-stealing scheduler implementing the binary fork-join model
+// (Blelloch et al., "Optimal Parallel Algorithms in the Binary-Forking
+// Model", SPAA 2020) that the paper analyzes all algorithms in.
+//
+// Design: P workers, each with a LIFO deque of jobs. fork/join is
+// expressed through par_do(f1, f2): the caller pushes a job for f2 onto
+// its own deque, runs f1 inline, and then either pops f2 back (not
+// stolen: run inline) or steals other work while waiting for the thief
+// to finish f2. Jobs live on the forker's stack, so no allocation
+// happens on the fork path.
+//
+// The runtime is deliberately simple (spinlock deques, random victim
+// selection) in exchange for being easy to verify; on the target
+// machines the algorithms are memory-bound so deque overhead is not the
+// bottleneck. The calling (external) thread participates as worker 0
+// while it waits, so a 1-thread pool degenerates to plain sequential
+// execution with no job traffic at all.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <thread>
+#include <vector>
+
+namespace dynsld::par {
+
+/// A unit of work forked by par_do. Lives on the forking thread's stack;
+/// the forker never returns before `done` is set, so the storage is safe.
+struct Job {
+  void (*run)(void*) = nullptr;
+  void* arg = nullptr;
+  std::atomic<bool> taken{false};
+  std::atomic<bool> done{false};
+};
+
+/// Singleton work-stealing pool. Thread-safe for use by its own workers;
+/// external entry is supported from one thread at a time (the usual
+/// fork-join discipline: a single computation entered from `main`).
+class Scheduler {
+ public:
+  /// Global instance; created on first use with num_workers() threads
+  /// taken from DYNSLD_NUM_THREADS or std::thread::hardware_concurrency.
+  static Scheduler& instance();
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+  ~Scheduler();
+
+  int num_workers() const { return num_workers_; }
+
+  /// Resize the pool. Must be called while no parallel work is running.
+  void set_num_workers(int p);
+
+  /// True when the current thread should fork (pool has >1 worker).
+  bool should_fork() const { return num_workers_ > 1; }
+
+  /// Push a job onto the current thread's deque (registering the thread
+  /// as worker 0 if it is the external entry thread).
+  void push(Job* job);
+
+  /// Try to pop `job` back off the local deque. Returns true when the
+  /// job was not stolen and the caller should run it inline.
+  bool pop_if_local(Job* job);
+
+  /// Steal-while-waiting until `job` completes.
+  void wait(Job* job);
+
+ private:
+  explicit Scheduler(int num_workers);
+
+  struct WorkerQueue;
+
+  int register_external_thread();
+  int current_worker() const;
+  bool try_steal_and_run(int self);
+  void worker_loop(int id);
+  void start_threads();
+  void stop_threads();
+
+  int num_workers_ = 1;
+  std::atomic<bool> stop_{false};
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace dynsld::par

@@ -1,0 +1,1072 @@
+// Rake-compress tree implementation.
+//
+// Representation: round-based tree contraction. rounds_[r] stores the
+// adjacency of every vertex alive at round r (hash map vertex -> vector
+// of (neighbor, edge-cluster id)) and the contraction actions taken at
+// round r. Each round contracts the set of eligible vertices (degree
+// <= 2) that are local priority maxima among their eligible neighbors,
+// with priority = hash(round, vertex): deterministic, independent
+// (adjacent vertices never both contract), and expected-constant-
+// fraction progress per round, so O(log n) rounds.
+//
+// Dynamization: a single change-propagation loop serves both static
+// construction and updates — a link/cut marks its endpoints dirty at
+// round 0 (grow marks new vertices), and process_round(r) recomputes
+// decisions for dirty vertices plus their eligible neighbors, re-derives
+// the round-(r+1) adjacency entries of every touched vertex, and marks
+// the entries that changed as dirty at r+1. Cluster ids are stable as
+// long as the producing action (kind + neighbors + consumed edges) is
+// unchanged; pure aggregate changes propagate up the parent chain.
+#include "rctree/rc_tree.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cassert>
+#include <limits>
+#include <queue>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "parallel/random.hpp"
+
+namespace dynsld::rctree {
+
+namespace {
+
+constexpr Rank kMinRank{-std::numeric_limits<double>::infinity(), 0};
+constexpr Rank kMaxRank{std::numeric_limits<double>::infinity(), kNoEdge};
+
+uint64_t priority(uint32_t round, vertex_id v) {
+  return par::hash64((static_cast<uint64_t>(round) << 32) ^ v ^ 0xabcdef12345ULL);
+}
+
+}  // namespace
+
+struct RcTree::Impl {
+  enum Kind : uint8_t { kDead, kVertexLeaf, kBaseEdge, kRake, kCompress, kRoot };
+  enum ActKind : uint8_t { kActRake, kActCompress, kActFinalize };
+
+  struct Cluster {
+    Kind kind = kDead;
+    int parent = -1;
+    uint32_t round = 0;       // creation round; parent.round > child.round
+    vertex_id cvertex = kNoVertex;  // contracted/leaf vertex
+    vertex_id bound[2] = {kNoVertex, kNoVertex};
+    int pc[2] = {-1, -1};     // path children (compress) / edge child (rake)
+    std::vector<int> unary_children;
+    // aggregates over vertices strictly inside the cluster
+    uint64_t vcount = 0;
+    Rank vmax = kMinRank;
+    vertex_id vmax_arg = kNoVertex;
+    // cluster-path aggregates (base edge / compress)
+    uint64_t path_len = 0;  // interior path vertices
+    Rank path_vmax = kMinRank;
+    vertex_id path_vmax_arg = kNoVertex;
+    Rank path_vmin = kMaxRank;
+    vertex_id path_vmin_arg = kNoVertex;
+    Rank path_emax = kMinRank;
+    Rank eweight = kMinRank;  // base edge weight
+  };
+
+  struct Action {
+    ActKind kind;
+    vertex_id nb[2] = {kNoVertex, kNoVertex};
+    int in_edge[2] = {-1, -1};
+    int produced = -1;
+
+    bool same_shape(const Action& o) const {
+      return kind == o.kind && nb[0] == o.nb[0] && nb[1] == o.nb[1] &&
+             in_edge[0] == o.in_edge[0] && in_edge[1] == o.in_edge[1];
+    }
+  };
+
+  using AdjList = std::vector<std::pair<vertex_id, int>>;  // (neighbor, edge cluster)
+
+  struct Round {
+    std::unordered_map<vertex_id, AdjList> adj;  // alive vertices only
+    std::unordered_map<vertex_id, Action> actions;
+  };
+
+  size_t n = 0;
+  std::vector<Rank> vweight;
+  std::vector<Cluster> arena;
+  std::vector<int> free_clusters;
+  std::vector<Round> rounds;
+  std::unordered_map<vertex_id, std::set<int>> rakes_onto;
+  std::unordered_map<vertex_id, uint32_t> contracted_at;
+  std::unordered_map<uint64_t, int> base_edges;  // (min,max) key -> cluster
+  std::vector<std::unordered_set<vertex_id>> dirty;
+  // value-dirty clusters, processed in creation-round order
+  std::priority_queue<std::pair<uint32_t, int>, std::vector<std::pair<uint32_t, int>>,
+                      std::greater<>> value_dirty;
+  std::unordered_set<int> value_dirty_seen;
+  std::vector<int> pending_free;
+
+  static uint64_t edge_key(vertex_id u, vertex_id v) {
+    if (u > v) std::swap(u, v);
+    return (static_cast<uint64_t>(u) << 32) | v;
+  }
+
+  int alloc_cluster() {
+    if (!free_clusters.empty()) {
+      int id = free_clusters.back();
+      free_clusters.pop_back();
+      arena[static_cast<size_t>(id)] = Cluster{};
+      return id;
+    }
+    arena.emplace_back();
+    return static_cast<int>(arena.size()) - 1;
+  }
+
+  Cluster& cl(int id) { return arena[static_cast<size_t>(id)]; }
+  const Cluster& cl(int id) const { return arena[static_cast<size_t>(id)]; }
+
+  void mark_dirty(uint32_t r, vertex_id v) {
+    if (dirty.size() <= r) dirty.resize(r + 1);
+    dirty[r].insert(v);
+  }
+
+  void mark_value_dirty(int c) {
+    if (value_dirty_seen.insert(c).second) {
+      value_dirty.emplace(cl(c).round, c);
+    }
+  }
+
+  // ---- base mutations ----
+
+  // Leaf cluster id of each vertex (allocated from the shared arena:
+  // vertex ids and cluster ids are distinct spaces).
+  std::vector<int> leaf_of;
+
+  void grow(size_t m) {
+    if (m <= n) return;
+    vweight.resize(m, kMinRank);
+    leaf_of.resize(m, -1);
+    if (rounds.empty()) rounds.emplace_back();
+    for (size_t v = n; v < m; ++v) {
+      int id = alloc_cluster();
+      leaf_of[v] = id;
+      Cluster& c = cl(id);
+      c.kind = kVertexLeaf;
+      c.cvertex = static_cast<vertex_id>(v);
+      c.vcount = 1;
+      c.vmax = vweight[v];
+      c.vmax_arg = static_cast<vertex_id>(v);
+      rounds[0].adj.try_emplace(static_cast<vertex_id>(v));
+      mark_dirty(0, static_cast<vertex_id>(v));
+    }
+    n = m;
+    flush();
+  }
+
+  void set_vertex_weight(vertex_id v, Rank w) {
+    vweight[v] = w;
+    Cluster& c = cl(leaf_of[v]);
+    c.vmax = w;
+    c.vmax_arg = v;
+    // Leaves are not recomputed from children; propagate directly from
+    // the consuming cluster upward.
+    if (c.parent >= 0) mark_value_dirty(c.parent);
+    flush();
+  }
+
+  void link(vertex_id u, vertex_id v, Rank w) {
+    assert(u < n && v < n && u != v);
+    int e = alloc_cluster();
+    Cluster& c = cl(e);
+    c.kind = kBaseEdge;
+    c.round = 0;
+    c.bound[0] = u;
+    c.bound[1] = v;
+    c.eweight = w;
+    c.path_emax = w;
+    c.path_vmin = kMaxRank;
+    c.path_vmax = kMinRank;
+    base_edges[edge_key(u, v)] = e;
+    rounds[0].adj[u].emplace_back(v, e);
+    rounds[0].adj[v].emplace_back(u, e);
+    mark_dirty(0, u);
+    mark_dirty(0, v);
+    flush();
+  }
+
+  void cut(vertex_id u, vertex_id v) {
+    auto it = base_edges.find(edge_key(u, v));
+    assert(it != base_edges.end() && "cut of a non-existent edge");
+    int e = it->second;
+    base_edges.erase(it);
+    auto drop = [&](vertex_id a, vertex_id b) {
+      AdjList& l = rounds[0].adj[a];
+      l.erase(std::find_if(l.begin(), l.end(),
+                           [&](const auto& p) { return p.first == b; }));
+    };
+    drop(u, v);
+    drop(v, u);
+    pending_free.push_back(e);
+    mark_dirty(0, u);
+    mark_dirty(0, v);
+    flush();
+  }
+
+  // ---- contraction engine ----
+
+  bool alive_at(vertex_id v, uint32_t r) const {
+    return r < rounds.size() && rounds[r].adj.count(v) > 0;
+  }
+
+  size_t degree(uint32_t r, vertex_id v) const {
+    auto it = rounds[r].adj.find(v);
+    return it == rounds[r].adj.end() ? 0 : it->second.size();
+  }
+
+  /// Contraction decision for an alive vertex, from current round state.
+  bool decide(uint32_t r, vertex_id v, Action* out) const {
+    const AdjList& l = rounds[r].adj.at(v);
+    if (l.size() > 2) return false;
+    uint64_t my = priority(r, v);
+    for (const auto& [w, e] : l) {
+      (void)e;
+      if (degree(r, w) <= 2) {
+        uint64_t pw = priority(r, w);
+        if (pw > my || (pw == my && w > v)) return false;  // blocked
+      }
+    }
+    Action a;
+    if (l.empty()) {
+      a.kind = kActFinalize;
+    } else if (l.size() == 1) {
+      a.kind = kActRake;
+      a.nb[0] = l[0].first;
+      a.in_edge[0] = l[0].second;
+    } else {
+      a.kind = kActCompress;
+      a.nb[0] = l[0].first;
+      a.in_edge[0] = l[0].second;
+      a.nb[1] = l[1].first;
+      a.in_edge[1] = l[1].second;
+    }
+    *out = a;
+    return true;
+  }
+
+  /// (Re)attach children and recompute the produced cluster's fields.
+  void rebuild_cluster(vertex_id v, const Action& a) {
+    Cluster& c = cl(a.produced);
+    c.cvertex = v;
+    c.pc[0] = a.in_edge[0];
+    c.pc[1] = a.in_edge[1];
+    switch (a.kind) {
+      case kActRake:
+        c.kind = kRake;
+        c.bound[0] = a.nb[0];
+        c.bound[1] = kNoVertex;
+        break;
+      case kActCompress: {
+        c.kind = kCompress;
+        // Align bound[i] with pc[i]'s far endpoint.
+        c.bound[0] = a.nb[0];
+        c.bound[1] = a.nb[1];
+        break;
+      }
+      case kActFinalize:
+        c.kind = kRoot;
+        c.bound[0] = c.bound[1] = kNoVertex;
+        break;
+    }
+    c.unary_children.clear();
+    auto it = rakes_onto.find(v);
+    if (it != rakes_onto.end()) {
+      c.unary_children.assign(it->second.begin(), it->second.end());
+    }
+    // Parent pointers.
+    cl(leaf_of[v]).parent = a.produced;  // vertex leaf
+    for (int e : {c.pc[0], c.pc[1]}) {
+      if (e >= 0) cl(e).parent = a.produced;
+    }
+    for (int u : c.unary_children) cl(u).parent = a.produced;
+    mark_value_dirty(a.produced);
+  }
+
+  /// Children fingerprint check: does the produced cluster match what a
+  /// rebuild would attach right now?
+  bool children_current(vertex_id v, const Action& a) const {
+    const Cluster& c = cl(a.produced);
+    if (c.pc[0] != a.in_edge[0] || c.pc[1] != a.in_edge[1]) return false;
+    auto it = rakes_onto.find(v);
+    size_t want = it == rakes_onto.end() ? 0 : it->second.size();
+    if (c.unary_children.size() != want) return false;
+    if (want != 0) {
+      size_t i = 0;
+      for (int u : it->second) {
+        if (c.unary_children[i++] != u) return false;
+      }
+    }
+    return true;
+  }
+
+  // Rake targets whose unary-children sets changed during the current
+  // round. Refreshing immediately is wrong: the target's own action in
+  // this very round may still be pending undo, and rebuilding it would
+  // re-point children at a doomed cluster. Resolved at end of round.
+  std::set<vertex_id> pending_refresh;
+
+  /// The unary-children set of contracted rake target t changed.
+  /// If t's contraction round is already final (<= current round),
+  /// rebuild its produced cluster in place; if it lies in the future,
+  /// mark it dirty so its round's children_current check rebuilds it.
+  void resolve_refresh(uint32_t r, vertex_id t) {
+    auto cit = contracted_at.find(t);
+    if (cit == contracted_at.end()) return;
+    if (cit->second > r) {
+      mark_dirty(cit->second, t);
+      return;
+    }
+    auto ait = rounds[cit->second].actions.find(t);
+    if (ait == rounds[cit->second].actions.end()) return;
+    rebuild_cluster(t, ait->second);
+  }
+
+  void undo_action(uint32_t r, vertex_id v) {
+    auto& acts = rounds[r].actions;
+    auto it = acts.find(v);
+    if (it == acts.end()) return;
+    Action a = it->second;
+    acts.erase(it);
+    auto cit = contracted_at.find(v);
+    if (cit != contracted_at.end() && cit->second == r) contracted_at.erase(cit);
+    cl(a.produced).kind = kDead;
+    pending_free.push_back(a.produced);
+    if (a.kind == kActRake) {
+      rakes_onto[a.nb[0]].erase(a.produced);
+      pending_refresh.insert(a.nb[0]);
+    }
+  }
+
+  void apply_action(uint32_t r, vertex_id v, Action a) {
+    a.produced = alloc_cluster();
+    Cluster& c = cl(a.produced);
+    c.round = r + 1;
+    c.parent = -1;
+    rounds[r].actions[v] = a;
+    contracted_at[v] = r;
+    if (a.kind == kActRake) {
+      rakes_onto[a.nb[0]].insert(a.produced);
+      pending_refresh.insert(a.nb[0]);
+    }
+    rebuild_cluster(v, a);
+  }
+
+  /// Round-(r+1) adjacency entry of v, derived from round-r state.
+  /// Returns false when v is not alive at r+1.
+  bool derive(uint32_t r, vertex_id v, AdjList* out) const {
+    auto it = rounds[r].adj.find(v);
+    if (it == rounds[r].adj.end()) return false;              // dead at r
+    if (rounds[r].actions.count(v)) return false;             // contracts at r
+    out->clear();
+    for (const auto& [w, e] : it->second) {
+      auto ait = rounds[r].actions.find(w);
+      if (ait == rounds[r].actions.end()) {
+        out->emplace_back(w, e);
+        continue;
+      }
+      const Action& aw = ait->second;
+      if (aw.kind == kActRake) continue;  // edge consumed by the rake
+      assert(aw.kind == kActCompress);
+      vertex_id other = aw.nb[0] == v ? aw.nb[1] : aw.nb[0];
+      out->emplace_back(other, aw.produced);
+    }
+    return true;
+  }
+
+  void process_round(uint32_t r) {
+    const bool trace = std::getenv("DYNSLD_RC_TRACE") != nullptr;
+    std::vector<vertex_id> R(dirty[r].begin(), dirty[r].end());
+    dirty[r].clear();
+    if (trace) {
+      std::fprintf(stderr, "round %u R={", r);
+      for (vertex_id v : R) std::fprintf(stderr, "%u ", v);
+      std::fprintf(stderr, "}\n");
+    }
+    // Decisions of eligible neighbors depend on dirty vertices.
+    {
+      std::unordered_set<vertex_id> extra;
+      for (vertex_id v : R) {
+        auto it = rounds[r].adj.find(v);
+        if (it == rounds[r].adj.end()) continue;
+        for (const auto& [w, e] : it->second) {
+          (void)e;
+          if (degree(r, w) <= 2) extra.insert(w);
+        }
+      }
+      for (vertex_id v : R) extra.erase(v);
+      R.insert(R.end(), extra.begin(), extra.end());
+    }
+    std::sort(R.begin(), R.end());
+
+    std::unordered_set<vertex_id> touched(R.begin(), R.end());
+    for (vertex_id v : R) {
+      bool alive = rounds[r].adj.count(v) > 0;
+      Action na;
+      bool contracts = alive && decide(r, v, &na);
+      auto ait = rounds[r].actions.find(v);
+      if (ait != rounds[r].actions.end()) {
+        Action oa = ait->second;
+        if (contracts && oa.same_shape(na)) {
+          // Stable action; refresh children if the unary set drifted.
+          if (!children_current(v, oa)) rebuild_cluster(v, oa);
+          continue;
+        }
+        // Structural change: tear down the old action.
+        touched.insert(oa.nb[0] != kNoVertex ? oa.nb[0] : v);
+        if (oa.nb[1] != kNoVertex) touched.insert(oa.nb[1]);
+        if (trace) {
+          std::fprintf(stderr, "  undo v=%u kind=%d nb=(%d,%d) prod=%d\n", v,
+                       static_cast<int>(oa.kind), static_cast<int>(oa.nb[0]),
+                       static_cast<int>(oa.nb[1]), oa.produced);
+        }
+        undo_action(r, v);
+      } else if (!contracts) {
+        continue;  // was none, stays none
+      }
+      if (contracts) {
+        apply_action(r, v, na);
+        touched.insert(na.nb[0] != kNoVertex ? na.nb[0] : v);
+        if (na.nb[1] != kNoVertex) touched.insert(na.nb[1]);
+        if (trace) {
+          const Action& aa = rounds[r].actions.at(v);
+          std::fprintf(stderr, "  apply v=%u kind=%d nb=(%d,%d) in=(%d,%d) prod=%d\n",
+                       v, static_cast<int>(aa.kind), static_cast<int>(aa.nb[0]),
+                       static_cast<int>(aa.nb[1]), aa.in_edge[0], aa.in_edge[1],
+                       aa.produced);
+        }
+      }
+    }
+
+    // Rake-target refreshes deferred from undo/apply: all round-r
+    // actions are final now.
+    {
+      std::set<vertex_id> targets;
+      targets.swap(pending_refresh);
+      for (vertex_id t : targets) resolve_refresh(r, t);
+    }
+
+    // Re-derive round-(r+1) adjacency for every touched vertex, closing
+    // symmetrically: when v's neighbor set at r+1 changes, the affected
+    // neighbors' entries are stale too and join the worklist.
+    if (rounds.size() <= r + 1) rounds.emplace_back();
+    std::vector<vertex_id> work(touched.begin(), touched.end());
+    std::sort(work.begin(), work.end());
+    AdjList fresh;
+    auto enqueue = [&](vertex_id w) {
+      if (touched.insert(w).second) work.push_back(w);
+    };
+    for (size_t head = 0; head < work.size(); ++head) {
+      vertex_id v = work[head];
+      bool alive_next = derive(r, v, &fresh);
+      auto it = rounds[r + 1].adj.find(v);
+      if (trace) {
+        std::fprintf(stderr, "  derive v=%u alive=%d list=[", v, (int)alive_next);
+        if (alive_next) {
+          for (auto& [w, e] : fresh) std::fprintf(stderr, "(%u,%d)", w, e);
+        }
+        std::fprintf(stderr, "]\n");
+      }
+      if (!alive_next) {
+        if (it != rounds[r + 1].adj.end()) {
+          for (const auto& [w, e] : it->second) {
+            (void)e;
+            enqueue(w);
+          }
+          rounds[r + 1].adj.erase(it);
+          mark_dirty(r + 1, v);
+        }
+        continue;
+      }
+      std::sort(fresh.begin(), fresh.end());
+      if (it == rounds[r + 1].adj.end()) {
+        for (const auto& [w, e] : fresh) {
+          (void)e;
+          enqueue(w);
+        }
+        rounds[r + 1].adj.emplace(v, fresh);
+        mark_dirty(r + 1, v);
+      } else if (it->second != fresh) {
+        // Neighbors present in exactly one of the two lists (or with a
+        // changed edge cluster) are affected.
+        for (const auto& pr : it->second) {
+          if (std::find(fresh.begin(), fresh.end(), pr) == fresh.end()) {
+            enqueue(pr.first);
+          }
+        }
+        for (const auto& pr : fresh) {
+          if (std::find(it->second.begin(), it->second.end(), pr) ==
+              it->second.end()) {
+            enqueue(pr.first);
+          }
+        }
+        it->second = fresh;
+        mark_dirty(r + 1, v);
+      }
+    }
+  }
+
+  void recompute_values() {
+    while (!value_dirty.empty()) {
+      auto [round, id] = value_dirty.top();
+      value_dirty.pop();
+      value_dirty_seen.erase(id);
+      Cluster& c = cl(id);
+      if (c.kind == kDead) continue;
+      (void)round;
+      Cluster old = c;
+      recompute_one(c);
+      bool changed = c.vcount != old.vcount || c.vmax != old.vmax ||
+                     c.vmax_arg != old.vmax_arg || c.path_len != old.path_len ||
+                     c.path_vmax != old.path_vmax || c.path_vmin != old.path_vmin ||
+                     c.path_emax != old.path_emax;
+      if (changed && c.parent >= 0 && cl(c.parent).kind != kDead) {
+        mark_value_dirty(c.parent);
+      }
+    }
+  }
+
+  void recompute_one(Cluster& c) {
+    if (c.kind == kVertexLeaf || c.kind == kBaseEdge) return;
+    c.vcount = 1;  // the contracted vertex
+    c.vmax = vweight[c.cvertex];
+    c.vmax_arg = c.cvertex;
+    auto absorb = [&](int child) {
+      const Cluster& k = cl(child);
+      c.vcount += k.vcount;
+      if (c.vmax < k.vmax) {
+        c.vmax = k.vmax;
+        c.vmax_arg = k.vmax_arg;
+      }
+    };
+    for (int e : {c.pc[0], c.pc[1]}) {
+      if (e >= 0) absorb(e);
+    }
+    for (int u : c.unary_children) absorb(u);
+    if (c.kind == kCompress) {
+      const Cluster& a = cl(c.pc[0]);
+      const Cluster& b = cl(c.pc[1]);
+      c.path_len = a.path_len + 1 + b.path_len;
+      c.path_vmax = vweight[c.cvertex];
+      c.path_vmax_arg = c.cvertex;
+      c.path_vmin = vweight[c.cvertex];
+      c.path_vmin_arg = c.cvertex;
+      c.path_emax = std::max(a.path_emax, b.path_emax);
+      for (const Cluster* k : {&a, &b}) {
+        if (k->path_len > 0 || k->kind == kCompress) {
+          if (c.path_vmax < k->path_vmax) {
+            c.path_vmax = k->path_vmax;
+            c.path_vmax_arg = k->path_vmax_arg;
+          }
+          if (k->path_vmin < c.path_vmin) {
+            c.path_vmin = k->path_vmin;
+            c.path_vmin_arg = k->path_vmin_arg;
+          }
+        }
+      }
+    }
+  }
+
+  void flush() {
+    for (uint32_t r = 0; r < dirty.size(); ++r) {
+      if (!dirty[r].empty()) process_round(r);
+      // process_round may grow `dirty`; the loop bound re-reads size().
+    }
+    recompute_values();
+    for (int id : pending_free) {
+      cl(id).kind = kDead;
+      free_clusters.push_back(id);
+    }
+    pending_free.clear();
+  }
+
+  // ---- queries ----
+
+  int root_cluster(vertex_id v) const {
+    int c = leaf_of[v];
+    while (cl(c).parent >= 0) c = cl(c).parent;
+    return c;
+  }
+
+  /// One step of the two-sided path walk: current cluster `c` (with the
+  /// walk origin strictly inside) and fragments toward each boundary.
+  struct Walk {
+    int c = -1;
+    std::vector<PathFragment> frag[2];  // aligned with cl(c).bound
+  };
+
+  /// Path fragment for the full cluster path of binary cluster e,
+  /// oriented so the `near` endpoint comes first.
+  static PathFragment cluster_frag(int e, vertex_id near, const Cluster& ec) {
+    PathFragment f;
+    f.cluster = e;
+    f.reversed = (ec.bound[0] != near);
+    return f;
+  }
+
+  Walk start_walk(vertex_id u) const {
+    Walk w;
+    w.c = cl(leaf_of[u]).parent;
+    assert(w.c >= 0 && "isolated leaf must have a root parent");
+    const Cluster& c = cl(w.c);
+    for (int i = 0; i < 2; ++i) {
+      if (c.bound[i] == kNoVertex) continue;
+      // u is the contracted vertex of w.c; the path child pc[i] spans
+      // bound[i]..u for compress, pc[0] spans bound[0]..u for rake.
+      int e = c.kind == kRake ? c.pc[0] : c.pc[i];
+      w.frag[i].push_back(cluster_frag(e, u, cl(e)));
+    }
+    return w;
+  }
+
+  /// Advance the walk into the parent cluster; fragments re-expressed
+  /// toward the parent's boundaries.
+  void step_walk(Walk& w) const {
+    const Cluster& c = cl(w.c);
+    int p = c.parent;
+    assert(p >= 0);
+    const Cluster& pc = cl(p);
+    vertex_id y = pc.cvertex;
+    // Fragments toward y from the current cluster.
+    std::vector<PathFragment> toward_y;
+    if (c.kind == kVertexLeaf) {
+      // origin == y; empty fragment list (only at the start when the
+      // walk origin is the contracted vertex of p — handled by caller).
+      assert(false && "walks never sit on a leaf");
+    }
+    int yidx = c.bound[0] == y ? 0 : 1;
+    assert(c.bound[yidx] == y);
+    toward_y = std::move(w.frag[yidx]);
+    int other = 1 - yidx;
+
+    Walk next;
+    next.c = p;
+    for (int i = 0; i < 2; ++i) {
+      if (pc.bound[i] == kNoVertex) continue;
+      if (c.bound[other] == pc.bound[i] && c.bound[other] != kNoVertex) {
+        // This boundary survives unchanged (c is a path child on that side).
+        next.frag[i] = std::move(w.frag[other]);
+        continue;
+      }
+      // Route through y, then along the parent's other path child.
+      std::vector<PathFragment> f = toward_y;
+      PathFragment vy;
+      vy.vertex = y;
+      f.push_back(vy);
+      // Which path child of p spans y..pc.bound[i]?
+      int e = -1;
+      if (pc.kind == kRake) {
+        e = pc.pc[0];
+      } else {
+        // compress: pc.pc[i] spans bound[i]..y.
+        e = pc.pc[i];
+        if (e == w.c) e = -1;  // would re-enter ourselves; cannot happen
+      }
+      assert(e >= 0 && e != w.c);
+      f.push_back(cluster_frag(e, y, cl(e)));
+      next.frag[i] = std::move(f);
+    }
+    w = std::move(next);
+  }
+
+  /// Ordered fragments for the u..v path (empty if disconnected):
+  /// climb both walks until their clusters meet, then join through the
+  /// meet cluster's contracted vertex.
+  std::vector<PathFragment> decompose_impl(vertex_id u, vertex_id v) const {
+    // Special structure: each walk's current cluster always has the
+    // origin strictly inside. The meet cluster A is the lowest common
+    // cluster; each walk's previous cluster is a child of A with y on
+    // its boundary (or the walk's origin *is* y).
+    int pu = cl(leaf_of[u]).parent;
+    int pv = cl(leaf_of[v]).parent;
+
+    // Collect ancestor chains to find the meet cluster A.
+    auto chain = [&](int c) {
+      std::vector<int> ch;
+      while (c >= 0) {
+        ch.push_back(c);
+        c = cl(c).parent;
+      }
+      return ch;
+    };
+    std::vector<int> cu = chain(pu), cv = chain(pv);
+    if (cu.back() != cv.back()) return {};  // disconnected
+    // Meet = first common cluster (chains share a suffix).
+    std::unordered_set<int> on_u(cu.begin(), cu.end());
+    int A = -1;
+    for (int c : cv) {
+      if (on_u.count(c)) {
+        A = c;
+        break;
+      }
+    }
+    assert(A >= 0);
+    const Cluster& ac = cl(A);
+    vertex_id y = ac.cvertex;
+
+    auto frags_toward_y = [&](vertex_id origin) -> std::vector<PathFragment> {
+      if (origin == y) return {};
+      Walk w = start_walk(origin);
+      while (w.c != A) {
+        // Stop when the parent is A: extract the y-side fragments.
+        if (cl(w.c).parent == A) {
+          const Cluster& c = cl(w.c);
+          int yidx = c.bound[0] == y ? 0 : (c.bound[1] == y ? 1 : -1);
+          if (yidx < 0) {
+            std::fprintf(stderr,
+                         "decompose: origin=%u A=%d kindA=%d y=%u child=%d "
+                         "kind=%d bounds=(%d,%d)\n",
+                         origin, A, static_cast<int>(cl(A).kind), y, w.c,
+                         static_cast<int>(c.kind), static_cast<int>(c.bound[0]),
+                         static_cast<int>(c.bound[1]));
+          }
+          assert(yidx >= 0 && "child of the meet cluster must touch y");
+          return std::move(w.frag[yidx]);
+        }
+        step_walk(w);
+      }
+      // w.c == A can only happen when origin contracted at A, i.e.
+      // origin == y, excluded above.
+      assert(false);
+      return {};
+    };
+
+    std::vector<PathFragment> out;
+    PathFragment fu;
+    fu.vertex = u;
+    out.push_back(fu);
+    if (u == v) return out;
+    auto left = frags_toward_y(u);
+    for (auto& f : left) out.push_back(f);
+    if (y != u && y != v) {
+      PathFragment fy;
+      fy.vertex = y;
+      out.push_back(fy);
+    }
+    auto right = frags_toward_y(v);
+    for (auto it = right.rbegin(); it != right.rend(); ++it) {
+      PathFragment f = *it;
+      if (f.cluster >= 0) f.reversed = !f.reversed;
+      out.push_back(f);
+    }
+    PathFragment fv;
+    fv.vertex = v;
+    out.push_back(fv);
+    return out;
+  }
+
+  // ---- fragment descent helpers (interiors of binary clusters,
+  //      oriented from the `near` boundary) ----
+
+  /// The near-side / far-side path children of compress cluster e.
+  void split_parts(int e, vertex_id near, int* e_near, int* e_far) const {
+    const Cluster& c = cl(e);
+    assert(c.kind == kCompress);
+    int nidx = c.bound[0] == near ? 0 : 1;
+    assert(c.bound[nidx] == near);
+    *e_near = c.pc[nidx];
+    *e_far = c.pc[1 - nidx];
+  }
+
+  void expand_into(int e, vertex_id near, std::vector<vertex_id>& out) const {
+    const Cluster& c = cl(e);
+    if (c.kind == kBaseEdge) return;
+    int en, ef;
+    split_parts(e, near, &en, &ef);
+    expand_into(en, near, out);
+    out.push_back(c.cvertex);
+    expand_into(ef, c.cvertex, out);
+  }
+
+  /// k-th interior path vertex (0-based from near).
+  vertex_id select_in(int e, vertex_id near, size_t k) const {
+    const Cluster& c = cl(e);
+    assert(c.kind == kCompress && k < c.path_len);
+    int en, ef;
+    split_parts(e, near, &en, &ef);
+    size_t ln = cl(en).path_len;
+    if (k < ln) return select_in(en, near, k);
+    if (k == ln) return c.cvertex;
+    return select_in(ef, c.cvertex, k - ln - 1);
+  }
+
+  /// Max interior vertex with weight < w; interior weights increase
+  /// from near to far; precondition: path_vmin < w <= path_vmax.
+  vertex_id pws_in(int e, vertex_id near, Rank w) const {
+    const Cluster& c = cl(e);
+    assert(c.kind == kCompress);
+    int en, ef;
+    split_parts(e, near, &en, &ef);
+    if (vweight[c.cvertex] < w) {
+      const Cluster& f = cl(ef);
+      if (f.path_len > 0 && f.path_vmin < w) {
+        if (f.path_vmax < w) return f.path_vmax_arg;
+        return pws_in(ef, c.cvertex, w);
+      }
+      return c.cvertex;
+    }
+    const Cluster& a = cl(en);
+    assert(a.path_len > 0 && a.path_vmin < w);
+    if (a.path_vmax < w) return a.path_vmax_arg;
+    return pws_in(en, near, w);
+  }
+
+  /// Near boundary vertex of a cluster fragment in query orientation.
+  vertex_id frag_near(const PathFragment& f) const {
+    const Cluster& c = cl(f.cluster);
+    return f.reversed ? c.bound[1] : c.bound[0];
+  }
+};
+
+// -----------------------------------------------------------------------
+// Public API.
+// -----------------------------------------------------------------------
+
+RcTree::RcTree(size_t n) : impl_(std::make_unique<Impl>()) {
+  if (n > 0) impl_->grow(n);
+}
+RcTree::~RcTree() = default;
+
+size_t RcTree::capacity() const { return impl_->n; }
+void RcTree::grow(size_t n) { impl_->grow(n); }
+
+void RcTree::set_vertex_weight(vertex_id v, Rank w) {
+  impl_->set_vertex_weight(v, w);
+}
+Rank RcTree::vertex_weight(vertex_id v) const { return impl_->vweight[v]; }
+
+void RcTree::link(vertex_id u, vertex_id v, Rank w) { impl_->link(u, v, w); }
+void RcTree::cut(vertex_id u, vertex_id v) { impl_->cut(u, v); }
+
+bool RcTree::connected(vertex_id u, vertex_id v) {
+  if (u == v) return true;
+  return impl_->root_cluster(u) == impl_->root_cluster(v);
+}
+
+uint64_t RcTree::component_size(vertex_id u) {
+  return impl_->cl(impl_->root_cluster(u)).vcount;
+}
+
+vertex_id RcTree::component_argmax(vertex_id u) {
+  return impl_->cl(impl_->root_cluster(u)).vmax_arg;
+}
+
+std::vector<PathFragment> RcTree::path_decomposition(vertex_id u, vertex_id v) {
+  return impl_->decompose_impl(u, v);
+}
+
+Rank RcTree::path_max_edge(vertex_id u, vertex_id v) {
+  auto frags = impl_->decompose_impl(u, v);
+  Rank best = kMinRank;
+  for (const auto& f : frags) {
+    if (f.cluster >= 0) best = std::max(best, impl_->cl(f.cluster).path_emax);
+  }
+  return best;
+}
+
+size_t RcTree::path_length(vertex_id u, vertex_id v) {
+  auto frags = impl_->decompose_impl(u, v);
+  size_t len = 0;
+  for (const auto& f : frags) {
+    len += f.cluster >= 0 ? impl_->cl(f.cluster).path_len : 1;
+  }
+  return len;
+}
+
+vertex_id RcTree::path_weight_search(vertex_id u, vertex_id v, Rank w) {
+  auto frags = impl_->decompose_impl(u, v);
+  vertex_id best = kNoVertex;
+  for (const auto& f : frags) {
+    if (f.cluster < 0) {
+      if (impl_->vweight[f.vertex] < w) {
+        best = f.vertex;
+      } else {
+        return best;  // weights increase toward v: nothing later qualifies
+      }
+      continue;
+    }
+    const auto& c = impl_->cl(f.cluster);
+    if (c.path_len == 0) continue;
+    if (c.path_vmax < w) {
+      best = c.path_vmax_arg;
+      continue;
+    }
+    if (c.path_vmin < w) return impl_->pws_in(f.cluster, impl_->frag_near(f), w);
+    return best;
+  }
+  return best;
+}
+
+vertex_id RcTree::path_select(vertex_id u, vertex_id v, size_t k) {
+  auto frags = impl_->decompose_impl(u, v);
+  for (const auto& f : frags) {
+    size_t s = f.cluster >= 0 ? impl_->cl(f.cluster).path_len : 1;
+    if (k < s) {
+      if (f.cluster < 0) return f.vertex;
+      return impl_->select_in(f.cluster, impl_->frag_near(f), k);
+    }
+    k -= s;
+  }
+  assert(false && "path_select index out of range");
+  return kNoVertex;
+}
+
+vertex_id RcTree::path_median(vertex_id u, vertex_id v) {
+  size_t len = path_length(u, v);
+  return path_select(u, v, len / 2);
+}
+
+std::vector<vertex_id> RcTree::path_vertices(vertex_id u, vertex_id v) {
+  auto frags = impl_->decompose_impl(u, v);
+  std::vector<vertex_id> out;
+  for (const auto& f : frags) {
+    if (f.cluster < 0) {
+      out.push_back(f.vertex);
+    } else {
+      impl_->expand_into(f.cluster, impl_->frag_near(f), out);
+    }
+  }
+  return out;
+}
+
+size_t RcTree::hierarchy_height() const {
+  size_t best = 0;
+  for (size_t v = 0; v < impl_->n; ++v) {
+    size_t d = 0;
+    int c = impl_->leaf_of[v];
+    while (impl_->cl(c).parent >= 0) {
+      c = impl_->cl(c).parent;
+      ++d;
+    }
+    best = std::max(best, d);
+  }
+  return best;
+}
+
+// -----------------------------------------------------------------------
+// RcForest adapter (rooted dendrogram use, §3.2).
+// -----------------------------------------------------------------------
+
+RcForest::RcForest(size_t n) : tree_(n) {}
+
+void RcForest::add_node(edge_id id, Rank rank) {
+  if (id >= parent_.size()) parent_.resize(id + 1, kNoEdge);
+  assert(parent_[id] == kNoEdge && "reused slot must be detached");
+  tree_.grow(id + 1);
+  tree_.set_vertex_weight(id, rank);
+}
+
+void RcForest::remove_node(edge_id id) {
+  // Called while the unmerge changes are still pending: the node is
+  // detached by the subsequent relinks, and slot reuse is guarded by
+  // the isolation assert in add_node. Nothing to do here.
+  (void)id;
+}
+
+void RcForest::link_to_parent(edge_id child, edge_id parent) {
+  assert(parent_[child] == kNoEdge);
+  parent_[child] = parent;
+  tree_.link(child, parent);
+}
+
+void RcForest::cut_from_parent(edge_id child) {
+  if (child >= parent_.size() || parent_[child] == kNoEdge) return;
+  tree_.cut(child, parent_[child]);
+  parent_[child] = kNoEdge;
+}
+
+edge_id RcForest::root_of(edge_id e) {
+  // Ranks strictly increase along spines, so the component's max-rank
+  // node is the dendrogram root.
+  return tree_.component_argmax(e);
+}
+
+size_t RcForest::spine_length(edge_id e) {
+  return tree_.path_length(e, root_of(e));
+}
+
+std::vector<edge_id> RcForest::spine(edge_id e) {
+  return tree_.path_vertices(e, root_of(e));
+}
+
+edge_id RcForest::spine_search_below(edge_id e, Rank w) {
+  edge_id r = root_of(e);
+  // The PWS definition searches the whole root path including e itself.
+  if (!(tree_.vertex_weight(e) < w)) return kNoEdge;
+  vertex_id got = tree_.path_weight_search(e, r, w);
+  return got == kNoVertex ? kNoEdge : got;
+}
+
+edge_id RcForest::spine_select_from_top(edge_id e, size_t k) {
+  edge_id r = root_of(e);
+  size_t len = tree_.path_length(e, r);
+  assert(k < len);
+  return tree_.path_select(e, r, len - 1 - k);
+}
+
+uint64_t RcForest::subtree_size(edge_id e) {
+  // Component size after conceptually cutting the parent edge: cut,
+  // measure, relink. O(log n) and exact; sequential use only.
+  edge_id p = parent_[e];
+  if (p == kNoEdge) return tree_.component_size(e);
+  tree_.cut(e, p);
+  uint64_t s = tree_.component_size(e);
+  tree_.link(e, p);
+  return s;
+}
+
+edge_id RcForest::parent_of(edge_id e) const { return parent_[e]; }
+
+void RcTree::check_invariants() const {
+  // Every live non-root cluster has a live parent; aggregates of roots
+  // count each component's vertices exactly once.
+  uint64_t total = 0;
+  bool bad = false;
+  for (size_t i = 0; i < impl_->arena.size(); ++i) {
+    const auto& c = impl_->cl(static_cast<int>(i));
+    if (c.kind == Impl::kDead) continue;
+    if (c.parent >= 0) {
+      if (impl_->cl(c.parent).kind == Impl::kDead) {
+        std::fprintf(stderr, "dead parent: cl %zu kind=%d round=%u par=%d\n", i,
+                     static_cast<int>(c.kind), c.round, c.parent);
+        bad = true;
+      } else {
+        assert(impl_->cl(c.parent).round > c.round);
+      }
+    }
+    if (c.kind == Impl::kRoot) total += c.vcount;
+  }
+  assert(!bad);
+  if (total != impl_->n && std::getenv("DYNSLD_RC_DEBUG")) {
+    for (const auto& [v, s] : impl_->rakes_onto) {
+      if (s.empty()) continue;
+      std::fprintf(stderr, "rakes_onto[%u] = {", v);
+      for (int c : s) std::fprintf(stderr, "%d(kind %d) ", c, impl_->cl(c).kind);
+      std::fprintf(stderr, "}\n");
+    }
+    std::fprintf(stderr, "RC dump: n=%zu root-total=%llu\n", impl_->n,
+                 static_cast<unsigned long long>(total));
+    for (size_t i = 0; i < impl_->arena.size(); ++i) {
+      const auto& c = impl_->cl(static_cast<int>(i));
+      if (c.kind == Impl::kDead) continue;
+      std::fprintf(stderr,
+                   "  cl %zu kind=%d round=%u par=%d cv=%d b=(%d,%d) pc=(%d,%d) "
+                   "unary=%zu vcount=%llu\n",
+                   i, static_cast<int>(c.kind), c.round, c.parent,
+                   static_cast<int>(c.cvertex), static_cast<int>(c.bound[0]),
+                   static_cast<int>(c.bound[1]), c.pc[0], c.pc[1],
+                   c.unary_children.size(),
+                   static_cast<unsigned long long>(c.vcount));
+    }
+  }
+  assert(total == impl_->n);
+  (void)total;
+}
+
+}  // namespace dynsld::rctree

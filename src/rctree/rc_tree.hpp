@@ -1,0 +1,151 @@
+// Rake-compress trees (Acar et al. [3,4]; deterministic parallel
+// variant after Anderson–Blelloch [7]) — the paper's dynamic-trees
+// structure (§2.4, Table 1).
+//
+// RcTree maintains, for a dynamic unrooted forest on vertex slots
+// [0, capacity), the hierarchy produced by rounds of tree contraction:
+// each round contracts an independent set of degree-1 vertices (rake)
+// and degree-2 vertices (compress), chosen deterministically by local
+// id comparison. The contraction history forms a tree of clusters of
+// height O(log n):
+//   - leaf clusters: original vertices and edges,
+//   - unary clusters (rake): a rooted subtree hanging off one boundary
+//     vertex,
+//   - binary clusters (compress): the path between two boundary
+//     vertices plus everything hanging off it; its "cluster path" is
+//     that path, and a parent binary cluster's path is the
+//     concatenation of its two binary children's paths around the
+//     contracted vertex.
+// Updates (link/cut) re-run contraction on the affected vertices round
+// by round (change propagation), leaving untouched regions intact.
+//
+// Supported queries (all O(log n) expected-ish, see DESIGN.md):
+//   connected, component size / argmax-weight vertex,
+//   path decomposition (the O(log n) fragments covering a u..v path),
+//   path max edge/vertex, path weight search (Def 4.1),
+//   path median (Def 4.2), ordered path expansion (spine extraction).
+//
+// RcForest adapts RcTree to the rooted-dendrogram use of §3.2: tree
+// edges are parent links, the root of a component is its maximum-rank
+// node (ranks increase upward along spines), and spine operations are
+// path operations between a node and its component root.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace dynsld::rctree {
+
+/// A fragment of a path decomposition, in order from the query source.
+struct PathFragment {
+  int cluster = -1;        // binary cluster index, or -1 for a single vertex
+  vertex_id vertex = kNoVertex;  // set when this fragment is a single vertex
+  bool reversed = false;   // cluster path runs opposite to query direction
+};
+
+class RcTree {
+ public:
+  explicit RcTree(size_t n = 0);
+  ~RcTree();
+  RcTree(const RcTree&) = delete;
+  RcTree& operator=(const RcTree&) = delete;
+
+  size_t capacity() const;
+  void grow(size_t n);
+
+  /// Vertex weights participate in path aggregates and component argmax.
+  void set_vertex_weight(vertex_id v, Rank w);
+  Rank vertex_weight(vertex_id v) const;
+
+  /// Link u and v with an edge of weight w (must be disconnected).
+  void link(vertex_id u, vertex_id v, Rank w = Rank{});
+
+  /// Remove the edge between adjacent u and v.
+  void cut(vertex_id u, vertex_id v);
+
+  bool connected(vertex_id u, vertex_id v);
+
+  /// Number of vertices in u's component.
+  uint64_t component_size(vertex_id u);
+
+  /// The vertex with maximum weight in u's component.
+  vertex_id component_argmax(vertex_id u);
+
+  /// The O(log n) ordered fragments whose concatenation is the u..v
+  /// path (u and v inclusive as single-vertex fragments).
+  std::vector<PathFragment> path_decomposition(vertex_id u, vertex_id v);
+
+  /// Maximum edge weight on the u..v path.
+  Rank path_max_edge(vertex_id u, vertex_id v);
+
+  /// Number of vertices on the u..v path inclusive.
+  size_t path_length(vertex_id u, vertex_id v);
+
+  /// Path weight search (Def 4.1): on the u..v path, whose vertex
+  /// weights increase from u to v, the maximum-weight vertex with
+  /// weight < w (kNoVertex if none).
+  vertex_id path_weight_search(vertex_id u, vertex_id v, Rank w);
+
+  /// Path median (Def 4.2): the vertex at index floor(len/2) on the
+  /// u..v path (0-based from u).
+  vertex_id path_median(vertex_id u, vertex_id v);
+
+  /// k-th vertex (0-based from u) on the u..v path.
+  vertex_id path_select(vertex_id u, vertex_id v, size_t k);
+
+  /// All vertices on the u..v path in order (O(path) work).
+  std::vector<vertex_id> path_vertices(vertex_id u, vertex_id v);
+
+  /// Height of the cluster hierarchy (O(log n)); exposed for tests.
+  size_t hierarchy_height() const;
+
+  /// Validate internal invariants (test-only, O(n log n)).
+  void check_invariants() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Rooted adapter for the dendrogram spine index (§3.2).
+class RcForest {
+ public:
+  explicit RcForest(size_t n = 0);
+
+  void add_node(edge_id id, Rank rank);
+  void remove_node(edge_id id);
+  void link_to_parent(edge_id child, edge_id parent);
+  void cut_from_parent(edge_id child);
+
+  /// Root (max-rank node) of the component of e.
+  edge_id root_of(edge_id e);
+
+  /// Number of nodes on the root path of e, inclusive.
+  size_t spine_length(edge_id e);
+
+  /// The spine of e, bottom (e) to root, as ids. O(h) work.
+  std::vector<edge_id> spine(edge_id e);
+
+  /// PWS on the root path of e: max-rank node with rank < w.
+  edge_id spine_search_below(edge_id e, Rank w);
+
+  /// k-th node on the root path counted from the root (k=0 -> root).
+  edge_id spine_select_from_top(edge_id e, size_t k);
+
+  /// Size of the subtree of e in the rooted dendrogram.
+  uint64_t subtree_size(edge_id e);
+
+  RcTree& tree() { return tree_; }
+
+ private:
+  edge_id parent_of(edge_id e) const;
+
+  RcTree tree_;
+  std::vector<edge_id> parent_;  // mirror of the dendrogram parent array
+};
+
+}  // namespace dynsld::rctree

@@ -1,0 +1,172 @@
+// Cartesian tree tests (§6.2): equivalence with the classic stack
+// construction, heap/in-order invariants under dynamic updates, RMQ
+// correctness, and the O(1)-changes bound for appends.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <deque>
+#include <map>
+
+#include "cartesian/cartesian_tree.hpp"
+#include "parallel/random.hpp"
+#include "parallel/stats.hpp"
+
+namespace dynsld {
+namespace {
+
+using par::Rng;
+
+/// Check the two defining properties: in-order = sequence, max-heap.
+void expect_valid(CartesianTree& t, const std::vector<double>& want_values) {
+  auto seq = t.in_order();
+  ASSERT_EQ(seq.size(), want_values.size());
+  for (size_t i = 0; i < seq.size(); ++i) {
+    EXPECT_EQ(t.value(seq[i]), want_values[i]) << "position " << i;
+  }
+  for (auto h : seq) {
+    auto p = t.parent(h);
+    if (p != CartesianTree::kNoHandle) EXPECT_GT(t.value(p), t.value(h));
+  }
+}
+
+/// Structure check against the stack builder (distinct values).
+void expect_matches_stack(CartesianTree& t, const std::vector<double>& values) {
+  auto seq = t.in_order();
+  ASSERT_EQ(seq.size(), values.size());
+  auto parents = build_cartesian_parents(values);
+  std::map<CartesianTree::handle, size_t> pos;
+  for (size_t i = 0; i < seq.size(); ++i) pos[seq[i]] = i;
+  for (size_t i = 0; i < seq.size(); ++i) {
+    auto p = t.parent(seq[i]);
+    if (parents[i] == static_cast<size_t>(-1)) {
+      EXPECT_EQ(p, CartesianTree::kNoHandle) << "element " << i;
+    } else {
+      ASSERT_NE(p, CartesianTree::kNoHandle) << "element " << i;
+      EXPECT_EQ(pos[p], parents[i]) << "element " << i;
+    }
+  }
+}
+
+TEST(Cartesian, PushBackMatchesStack) {
+  Rng rng(3);
+  std::vector<double> values;
+  CartesianTree t(128);
+  for (int i = 0; i < 100; ++i) {
+    double v = static_cast<double>(rng.next_bounded(1000000));
+    values.push_back(v);
+    t.push_back(v);
+    if (i % 10 == 0) expect_matches_stack(t, values);
+  }
+  expect_matches_stack(t, values);
+}
+
+TEST(Cartesian, PushFrontAndBack) {
+  Rng rng(4);
+  std::deque<double> values;
+  CartesianTree t(128);
+  for (int i = 0; i < 80; ++i) {
+    double v = static_cast<double>(rng.next_bounded(1000000));
+    if (rng.next_bounded(2)) {
+      values.push_back(v);
+      t.push_back(v);
+    } else {
+      values.push_front(v);
+      t.push_front(v);
+    }
+  }
+  std::vector<double> vv(values.begin(), values.end());
+  expect_matches_stack(t, vv);
+}
+
+TEST(Cartesian, ArbitraryInsertErase) {
+  Rng rng(5);
+  std::vector<double> values;
+  CartesianTree t(600);
+  for (int step = 0; step < 400; ++step) {
+    bool ins = values.empty() || rng.next_bounded(10) < 6;
+    if (ins) {
+      double v = static_cast<double>(rng.next_bounded(1000000));
+      if (values.empty() || rng.next_bounded(4) == 0) {
+        values.push_back(v);
+        t.push_back(v);
+      } else {
+        size_t i = rng.next_bounded(values.size());
+        auto seq = t.in_order();
+        t.insert_after(seq[i], v);
+        values.insert(values.begin() + static_cast<long>(i) + 1, v);
+      }
+    } else {
+      size_t i = rng.next_bounded(values.size());
+      auto seq = t.in_order();
+      t.erase(seq[i]);
+      values.erase(values.begin() + static_cast<long>(i));
+    }
+    if (step % 25 == 0) expect_matches_stack(t, values);
+    expect_valid(t, values);
+  }
+}
+
+TEST(Cartesian, RangeMaxMatchesBrute) {
+  Rng rng(6);
+  std::vector<double> values;
+  CartesianTree t(200);
+  for (int i = 0; i < 150; ++i) {
+    double v = static_cast<double>(rng.next_bounded(1000000));
+    values.push_back(v);
+    t.push_back(v);
+  }
+  auto seq = t.in_order();
+  for (int q = 0; q < 300; ++q) {
+    size_t a = rng.next_bounded(values.size());
+    size_t b = rng.next_bounded(values.size());
+    if (a > b) std::swap(a, b);
+    size_t want = a;
+    for (size_t i = a; i <= b; ++i) {
+      if (values[i] > values[want]) want = i;
+    }
+    EXPECT_EQ(t.range_max(seq[a], seq[b]), seq[want]) << a << ".." << b;
+  }
+}
+
+TEST(Cartesian, AppendsAreConstantChange) {
+  // §6.2: appends have c = O(1); worst-case O(log n) per op.
+  CartesianTree t(1100);
+  for (int i = 0; i < 1000; ++i) {
+    t.push_back(static_cast<double>(i + 1));  // increasing: deep spine
+  }
+  stats::counters().reset();
+  t.push_back(2000.0);  // new maximum: exactly one pointer change + root
+  EXPECT_LE(stats::counters().pointer_writes.load(), 2u);
+  stats::counters().reset();
+  t.push_back(1.5);  // tiny value: O(1) changes at the bottom
+  EXPECT_LE(stats::counters().pointer_writes.load(), 3u);
+}
+
+TEST(Cartesian, RootIsMaximum) {
+  Rng rng(9);
+  CartesianTree t(64);
+  double best = -1;
+  for (int i = 0; i < 50; ++i) {
+    double v = static_cast<double>(rng.next_bounded(1000000));
+    best = std::max(best, v);
+    t.push_back(v);
+    EXPECT_EQ(t.value(t.root()), best);
+  }
+}
+
+TEST(Cartesian, SingleElementAndEmptying) {
+  CartesianTree t(8);
+  auto h = t.push_back(5.0);
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.root(), h);
+  t.erase(h);
+  EXPECT_TRUE(t.empty());
+  auto h2 = t.push_back(7.0);
+  EXPECT_EQ(t.value(t.root()), 7.0);
+  auto h3 = t.insert_after(h2, 9.0);
+  EXPECT_EQ(t.root(), h3);
+  EXPECT_EQ(t.in_order().size(), 2u);
+}
+
+}  // namespace
+}  // namespace dynsld

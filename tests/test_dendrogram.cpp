@@ -1,0 +1,179 @@
+// Dendrogram structure + static construction tests: build_kruskal vs
+// the definitional brute-force simulation across generator families,
+// plus structural invariants (heap order, child consistency, height).
+#include <gtest/gtest.h>
+
+#include "dendrogram/static_sld.hpp"
+#include "graph/generators.hpp"
+#include "test_util.hpp"
+
+namespace dynsld {
+namespace {
+
+using gen::Forest;
+using gen::Weights;
+
+void expect_valid_sld(const Dendrogram& d) {
+  for (edge_id e = 0; e < d.capacity(); ++e) {
+    if (!d.alive(e)) continue;
+    edge_id p = d.parent(e);
+    if (p != kNoEdge) {
+      ASSERT_TRUE(d.alive(p));
+      EXPECT_LT(d.rank(e), d.rank(p)) << "heap order violated at " << e;
+    }
+    int kids = 0;
+    for (edge_id c : d.node(e).child) {
+      if (c != kNoEdge) {
+        ++kids;
+        EXPECT_EQ(d.parent(c), e);
+      }
+    }
+    EXPECT_LE(kids, 2);
+  }
+}
+
+TEST(StaticSld, EmptyAndSingleEdge) {
+  Dendrogram d0 = build_kruskal(3, {});
+  EXPECT_EQ(d0.size(), 0u);
+  std::vector<WeightedEdge> one{{0, 1, 5.0, 0}};
+  Dendrogram d1 = build_kruskal(3, one);
+  EXPECT_EQ(d1.size(), 1u);
+  EXPECT_EQ(d1.parent(0), kNoEdge);
+}
+
+TEST(StaticSld, PathIncreasingIsChain) {
+  Forest f = gen::path(6, Weights::kIncreasing);
+  Dendrogram d = build_kruskal(f.n, f.edges);
+  // Weights 1..5 along the path: each node's parent is the next edge.
+  for (edge_id e = 0; e + 1 < 5; ++e) EXPECT_EQ(d.parent(e), e + 1);
+  EXPECT_EQ(d.parent(4), kNoEdge);
+  EXPECT_EQ(d.height(), 5u);
+}
+
+TEST(StaticSld, PathBalancedIsShallow) {
+  Forest f = gen::path(1025, Weights::kBalanced);
+  Dendrogram d = build_kruskal(f.n, f.edges);
+  expect_valid_sld(d);
+  EXPECT_LE(d.height(), 22u);  // ~2 log2(1024)
+}
+
+TEST(StaticSld, StarIncreasing) {
+  Forest f = gen::star(5, Weights::kIncreasing);
+  Dendrogram d = build_kruskal(f.n, f.edges);
+  // Star edges merge in weight order onto the center: chain again.
+  for (edge_id e = 0; e + 1 < 4; ++e) EXPECT_EQ(d.parent(e), e + 1);
+}
+
+TEST(StaticSld, LowerBoundStarsArePaths) {
+  Forest f = gen::lower_bound_stars(/*h=*/8, /*num_stars=*/4);
+  Dendrogram d = build_kruskal(f.n, f.edges);
+  expect_valid_sld(d);
+  // Each star's SLD is a path of height h: every node has <=1 child.
+  for (edge_id e = 0; e < d.capacity(); ++e) {
+    if (d.alive(e)) EXPECT_LE(d.num_children(e), 1);
+  }
+  EXPECT_EQ(d.height(), 8u);
+}
+
+struct FamilyParam {
+  const char* name;
+  Forest (*make)(vertex_id, Weights, uint64_t);
+  Weights weights;
+  vertex_id n;
+};
+
+class KruskalVsBrute : public ::testing::TestWithParam<FamilyParam> {};
+
+TEST_P(KruskalVsBrute, Agree) {
+  const auto& p = GetParam();
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    Forest f = p.make(p.n, p.weights, seed);
+    Dendrogram got = build_kruskal(f.n, f.edges);
+    Dendrogram want = test::build_brute(f.n, f.edges);
+    ASSERT_DENDRO_EQ(got, want);
+    expect_valid_sld(got);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, KruskalVsBrute,
+    ::testing::Values(
+        FamilyParam{"path_rand", gen::path, Weights::kRandom, 40},
+        FamilyParam{"path_inc", gen::path, Weights::kIncreasing, 40},
+        FamilyParam{"path_dec", gen::path, Weights::kDecreasing, 40},
+        FamilyParam{"path_bal", gen::path, Weights::kBalanced, 40},
+        FamilyParam{"star_rand", gen::star, Weights::kRandom, 40},
+        FamilyParam{"cat_rand", gen::caterpillar, Weights::kRandom, 40},
+        FamilyParam{"bin_rand", gen::binary_tree, Weights::kRandom, 40},
+        FamilyParam{"bin_bal", gen::binary_tree, Weights::kBalanced, 63}),
+    [](const auto& info) { return info.param.name; });
+
+TEST(KruskalVsBruteRandomTree, Agree) {
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    gen::Forest f = gen::random_tree(50, seed);
+    Dendrogram got = build_kruskal(f.n, f.edges);
+    Dendrogram want = test::build_brute(f.n, f.edges);
+    ASSERT_DENDRO_EQ(got, want);
+  }
+}
+
+TEST(KruskalVsBruteForest, MultipleComponents) {
+  for (uint64_t seed = 1; seed <= 5; ++seed) {
+    gen::Forest f = gen::random_forest(60, 5, seed);
+    Dendrogram got = build_kruskal(f.n, f.edges);
+    Dendrogram want = test::build_brute(f.n, f.edges);
+    ASSERT_DENDRO_EQ(got, want);
+  }
+}
+
+TEST(Dendrogram, SpineIsSortedByRank) {
+  gen::Forest f = gen::random_tree(80, 3);
+  Dendrogram d = build_kruskal(f.n, f.edges);
+  for (edge_id e = 0; e < d.capacity(); ++e) {
+    if (!d.alive(e)) continue;
+    auto s = d.spine(e);
+    for (size_t i = 0; i + 1 < s.size(); ++i) {
+      EXPECT_LT(d.rank(s[i]), d.rank(s[i + 1]));
+    }
+    EXPECT_EQ(s[0], e);
+    EXPECT_EQ(d.parent(s.back()), kNoEdge);
+  }
+}
+
+TEST(Dendrogram, ApplyParentChangesTwoPhase) {
+  // A relink pattern whose naive sequential application would
+  // transiently give a node three children: rotate chains under a
+  // 2-child node.
+  Dendrogram d;
+  for (edge_id i = 0; i < 5; ++i) {
+    d.add_node(WeightedEdge{0, static_cast<vertex_id>(i + 1),
+                            static_cast<double>(i + 1), i});
+  }
+  // 4 has children 2 and 3; 2 has child 0; 3 has child 1.
+  d.set_parent(2, 4);
+  d.set_parent(3, 4);
+  d.set_parent(0, 2);
+  d.set_parent(1, 3);
+  // Swap the sub-chains: 0 under 3, 1 under 2.
+  std::vector<std::pair<edge_id, edge_id>> ch{{0, 3}, {1, 2}};
+  d.apply_parent_changes(ch);
+  EXPECT_EQ(d.parent(0), 3u);
+  EXPECT_EQ(d.parent(1), 2u);
+  EXPECT_EQ(d.num_children(2), 1);
+  EXPECT_EQ(d.num_children(3), 1);
+  EXPECT_EQ(d.num_children(4), 2);
+}
+
+TEST(Dendrogram, HeightOfForest) {
+  gen::Forest f = gen::random_forest(100, 4, 7);
+  Dendrogram d = build_kruskal(f.n, f.edges);
+  // Height equals the longest spine.
+  size_t want = 0;
+  for (edge_id e = 0; e < d.capacity(); ++e) {
+    if (d.alive(e)) want = std::max(want, d.spine(e).size());
+  }
+  EXPECT_EQ(d.height(), want);
+}
+
+}  // namespace
+}  // namespace dynsld

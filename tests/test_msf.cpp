@@ -1,0 +1,173 @@
+// End-to-end pipeline tests (Problem 2): the maintained forest must be
+// exactly the MSF of the live graph under the (weight, id) order after
+// every update, and the dendrogram queries must match brute-force
+// threshold clustering of the *graph*.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+#include "dendrogram/static_sld.hpp"
+#include "graph/generators.hpp"
+#include "msf/dynamic_msf.hpp"
+#include "parallel/random.hpp"
+
+namespace dynsld {
+namespace {
+
+using par::Rng;
+
+struct GraphOracle {
+  vertex_id n;
+  // alive graph edges keyed by handle
+  std::map<uint32_t, WeightedEdge> edges;
+
+  /// Kruskal MSF under (w, id): returns sorted (u,v,w,id) list.
+  std::vector<WeightedEdge> msf() const {
+    std::vector<WeightedEdge> es;
+    for (const auto& [id, e] : edges) es.push_back(e);
+    std::sort(es.begin(), es.end(), [](const WeightedEdge& a, const WeightedEdge& b) {
+      return a.rank() < b.rank();
+    });
+    UnionFind uf(n);
+    std::vector<WeightedEdge> out;
+    for (const auto& e : es) {
+      if (!uf.connected(e.u, e.v)) {
+        uf.unite(e.u, e.v);
+        out.push_back(e);
+      }
+    }
+    std::sort(out.begin(), out.end(), [](const WeightedEdge& a, const WeightedEdge& b) {
+      return a.id < b.id;
+    });
+    return out;
+  }
+
+  bool same_cluster(vertex_id s, vertex_id t, double tau) const {
+    UnionFind uf(n);
+    for (const auto& [id, e] : edges) {
+      if (e.weight <= tau) uf.unite(e.u, e.v);
+    }
+    return uf.connected(s, t);
+  }
+};
+
+void expect_forest_is_msf(DynamicClustering& dc, const GraphOracle& oracle) {
+  auto got = dc.forest_edges();
+  std::sort(got.begin(), got.end(), [](const WeightedEdge& a, const WeightedEdge& b) {
+    return a.id < b.id;
+  });
+  auto want = oracle.msf();
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].id, want[i].id) << "forest edge " << i;
+    EXPECT_EQ(got[i].weight, want[i].weight);
+  }
+}
+
+class MsfRandom : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MsfRandom, ForestAlwaysMsf) {
+  const vertex_id n = 24;
+  Rng rng(GetParam());
+  DynamicClustering dc(n);
+  GraphOracle oracle{n, {}};
+  std::vector<uint32_t> live;
+  for (int step = 0; step < 300; ++step) {
+    bool ins = live.empty() || rng.next_bounded(10) < 6;
+    if (ins) {
+      vertex_id u = static_cast<vertex_id>(rng.next_bounded(n));
+      vertex_id v = static_cast<vertex_id>(rng.next_bounded(n));
+      if (u == v) continue;
+      double w = static_cast<double>(rng.next_bounded(1000));
+      auto g = dc.insert_edge(u, v, w);
+      oracle.edges[g] = WeightedEdge{u, v, w, g};
+      live.push_back(g);
+    } else {
+      size_t i = rng.next_bounded(live.size());
+      dc.erase_edge(live[i]);
+      oracle.edges.erase(live[i]);
+      live.erase(live.begin() + static_cast<long>(i));
+    }
+    expect_forest_is_msf(dc, oracle);
+    // The dendrogram must equal the Kruskal SLD of the forest.
+    auto fe = dc.sld().edges();
+    ASSERT_TRUE(dc.dendrogram() == build_kruskal(n, fe));
+  }
+}
+
+TEST_P(MsfRandom, ThresholdQueriesMatchGraph) {
+  const vertex_id n = 18;
+  Rng rng(GetParam() + 100);
+  DynamicClustering dc(n);
+  GraphOracle oracle{n, {}};
+  std::vector<uint32_t> live;
+  for (int step = 0; step < 150; ++step) {
+    bool ins = live.empty() || rng.next_bounded(10) < 7;
+    if (ins) {
+      vertex_id u = static_cast<vertex_id>(rng.next_bounded(n));
+      vertex_id v = static_cast<vertex_id>(rng.next_bounded(n));
+      if (u == v) continue;
+      double w = static_cast<double>(rng.next_bounded(100));
+      auto g = dc.insert_edge(u, v, w);
+      oracle.edges[g] = WeightedEdge{u, v, w, g};
+      live.push_back(g);
+    } else {
+      size_t i = rng.next_bounded(live.size());
+      dc.erase_edge(live[i]);
+      oracle.edges.erase(live[i]);
+      live.erase(live.begin() + static_cast<long>(i));
+    }
+    // Single-linkage clustering of the graph == of its MSF: spot-check
+    // threshold queries at several taus.
+    for (double tau : {10.0, 35.0, 70.0, 99.0}) {
+      vertex_id s = static_cast<vertex_id>(rng.next_bounded(n));
+      vertex_id t = static_cast<vertex_id>(rng.next_bounded(n));
+      EXPECT_EQ(dc.sld().same_cluster(s, t, tau), oracle.same_cluster(s, t, tau))
+          << "tau " << tau << " step " << step;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MsfRandom, ::testing::Range<uint64_t>(1, 7));
+
+TEST(Msf, GeometricGraphLifecycle) {
+  gen::Graph g = gen::random_geometric(60, 0.25, 3);
+  DynamicClustering dc(g.n);
+  GraphOracle oracle{g.n, {}};
+  std::vector<uint32_t> handles;
+  for (const auto& e : g.edges) {
+    auto h = dc.insert_edge(e.u, e.v, e.weight);
+    oracle.edges[h] = WeightedEdge{e.u, e.v, e.weight, h};
+    handles.push_back(h);
+  }
+  expect_forest_is_msf(dc, oracle);
+  // Remove a third, verify, reinsert.
+  Rng rng(12);
+  for (size_t i = 0; i < handles.size(); i += 3) {
+    dc.erase_edge(handles[i]);
+    oracle.edges.erase(handles[i]);
+  }
+  expect_forest_is_msf(dc, oracle);
+}
+
+TEST(Msf, ParallelEdgesAndDuplicates) {
+  DynamicClustering dc(4);
+  auto a = dc.insert_edge(0, 1, 5);
+  auto b = dc.insert_edge(0, 1, 3);  // lighter parallel edge: swaps in
+  EXPECT_TRUE(dc.is_tree_edge(b));
+  EXPECT_FALSE(dc.is_tree_edge(a));
+  auto c = dc.insert_edge(0, 1, 4);  // middle: stays non-tree
+  EXPECT_FALSE(dc.is_tree_edge(c));
+  dc.erase_edge(b);  // replacement must pick c (4 < 5)
+  EXPECT_TRUE(dc.is_tree_edge(c));
+  EXPECT_FALSE(dc.is_tree_edge(a));
+  dc.erase_edge(c);
+  EXPECT_TRUE(dc.is_tree_edge(a));
+  dc.erase_edge(a);
+  EXPECT_EQ(dc.num_tree_edges(), 0u);
+}
+
+}  // namespace
+}  // namespace dynsld

@@ -1,0 +1,197 @@
+// Property-style sweeps across sizes, families and spine indices:
+//  - the dendrogram is a pure function of the edge set (insertion
+//    order, algorithm choice, and batching must not matter),
+//  - delete + reinsert is the identity,
+//  - every spine-index query agrees with the pointer-walk definition,
+//  - structural invariants (height bounds, spine monotonicity).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "dendrogram/static_sld.hpp"
+#include "dynsld/dyn_sld.hpp"
+#include "graph/generators.hpp"
+#include "parallel/random.hpp"
+#include "test_util.hpp"
+
+namespace dynsld {
+namespace {
+
+using par::Rng;
+
+struct SweepParam {
+  vertex_id n;
+  SpineIndex index;
+};
+
+std::string sweep_name(const ::testing::TestParamInfo<SweepParam>& info) {
+  const char* idx = info.param.index == SpineIndex::kPointer ? "ptr"
+                    : info.param.index == SpineIndex::kLct   ? "lct"
+                                                             : "rc";
+  return std::string("n") + std::to_string(info.param.n) + "_" + idx;
+}
+
+class PropertySweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(PropertySweep, OrderAndAlgorithmInvariance) {
+  const auto [n, index] = GetParam();
+  gen::Forest f = gen::random_tree(n, 17);
+  // Reference: forward insertion with the walk algorithm.
+  DynSLD fwd(n, index);
+  for (const auto& e : f.edges) fwd.insert(e.u, e.v, e.weight);
+
+  // Reversed order must give... careful: different insertion orders
+  // allocate different internal ids, so compare via a normalized map:
+  // (edge endpoints+weight) -> (parent endpoints+weight).
+  auto normalize = [](DynSLD& s) {
+    std::vector<std::pair<WeightedEdge, WeightedEdge>> out;
+    for (const auto& e : s.edges()) {
+      edge_id p = s.dendrogram().parent(e.id);
+      WeightedEdge pe =
+          p == kNoEdge ? WeightedEdge{} : s.dendrogram().edge(p);
+      WeightedEdge key = e;
+      key.id = 0;
+      pe.id = 0;
+      if (key.u > key.v) std::swap(key.u, key.v);
+      if (pe.u > pe.v) std::swap(pe.u, pe.v);
+      out.emplace_back(key, pe);
+    }
+    std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+      return std::tie(a.first.u, a.first.v, a.first.weight) <
+             std::tie(b.first.u, b.first.v, b.first.weight);
+    });
+    return out;
+  };
+  auto want = normalize(fwd);
+
+  // Reversed single insertion (distinct weights in random_tree make the
+  // dendrogram unique irrespective of id tie-breaks).
+  DynSLD rev(n, index);
+  for (auto it = f.edges.rbegin(); it != f.edges.rend(); ++it) {
+    rev.insert(it->u, it->v, it->weight);
+  }
+  EXPECT_EQ(normalize(rev), want);
+
+  // One batch.
+  DynSLD bat(n, index);
+  std::vector<DynSLD::EdgeInsert> batch;
+  for (const auto& e : f.edges) batch.push_back({e.u, e.v, e.weight});
+  bat.insert_batch(batch);
+  EXPECT_EQ(normalize(bat), want);
+
+  // Mixed algorithms, shuffled order.
+  Rng rng(23);
+  auto order = f.edges;
+  for (size_t i = order.size(); i > 1; --i) {
+    std::swap(order[i - 1], order[rng.next_bounded(i)]);
+  }
+  DynSLD mix(n, index);
+  int k = 0;
+  for (const auto& e : order) {
+    switch (k++ % 3) {
+      case 0:
+        mix.insert(e.u, e.v, e.weight);
+        break;
+      case 1:
+        mix.insert_parallel(e.u, e.v, e.weight);
+        break;
+      default:
+        if (index == SpineIndex::kPointer) {
+          mix.insert(e.u, e.v, e.weight);
+        } else {
+          mix.insert_output_sensitive(e.u, e.v, e.weight);
+        }
+    }
+  }
+  EXPECT_EQ(normalize(mix), want);
+}
+
+TEST_P(PropertySweep, DeleteReinsertIsIdentity) {
+  const auto [n, index] = GetParam();
+  gen::Forest f = gen::random_tree(n, 29);
+  DynSLD s(n, index);
+  std::vector<edge_id> ids;
+  for (const auto& e : f.edges) ids.push_back(s.insert(e.u, e.v, e.weight));
+  Rng rng(31);
+  for (int round = 0; round < 20; ++round) {
+    size_t i = rng.next_bounded(ids.size());
+    WeightedEdge ed = s.edge(ids[i]);
+    Dendrogram before = s.dendrogram();
+    s.erase(ids[i]);
+    ids[i] = s.insert(ed.u, ed.v, ed.weight);
+    // Slot reuse gives the same id back, so exact equality applies.
+    ASSERT_EQ(ids[i], ed.id);
+    ASSERT_DENDRO_EQ(s.dendrogram(), before);
+  }
+}
+
+TEST_P(PropertySweep, SpineQueriesAgreeWithWalk) {
+  const auto [n, index] = GetParam();
+  gen::Forest f = gen::random_tree(n, 41);
+  DynSLD s(n, index);
+  for (const auto& e : f.edges) s.insert(e.u, e.v, e.weight);
+  Rng rng(43);
+  for (int q = 0; q < 100; ++q) {
+    edge_id x = static_cast<edge_id>(rng.next_bounded(s.num_edges()));
+    if (!s.edge_alive(x)) continue;
+    auto walk = s.dendrogram().spine(x);
+    ASSERT_EQ(s.idx_spine_length(x), walk.size());
+    EXPECT_EQ(s.extract_spine(x), walk);
+    size_t i = rng.next_bounded(walk.size());
+    EXPECT_EQ(s.idx_spine_select_from_bottom(x, i), walk[i]);
+    EXPECT_EQ(s.idx_spine_index_from_bottom(x, walk[i]), i);
+    // PWS against the walk definition.
+    Rank w{static_cast<double>(rng.next_bounded(1u << 20)),
+           static_cast<edge_id>(rng.next_bounded(n))};
+    edge_id below = kNoEdge, above = kNoEdge;
+    for (edge_id t : walk) {
+      if (s.dendrogram().rank(t) < w) below = t;
+      if (above == kNoEdge && w < s.dendrogram().rank(t)) above = t;
+    }
+    EXPECT_EQ(s.idx_spine_search_below(x, w), below);
+    EXPECT_EQ(s.idx_spine_search_above(x, w), above);
+    // Subtree size against a child-pointer DFS.
+    uint64_t count = 0;
+    std::vector<edge_id> stack{x};
+    while (!stack.empty()) {
+      edge_id t = stack.back();
+      stack.pop_back();
+      ++count;
+      for (edge_id c : s.dendrogram().node(t).child) {
+        if (c != kNoEdge) stack.push_back(c);
+      }
+    }
+    EXPECT_EQ(s.idx_subtree_size(x), count);
+  }
+}
+
+TEST_P(PropertySweep, HeightAndSpineInvariants) {
+  const auto [n, index] = GetParam();
+  for (auto pattern : {gen::Weights::kRandom, gen::Weights::kBalanced}) {
+    gen::Forest f = gen::path(n, pattern, 51);
+    DynSLD s(f.n, index);
+    for (const auto& e : f.edges) s.insert(e.u, e.v, e.weight);
+    size_t h = s.dendrogram().height();
+    // h >= ceil(log2(#edges + 1)) always; kBalanced keeps it near that.
+    size_t lower = 0;
+    for (size_t m = f.edges.size(); m > 0; m >>= 1) ++lower;
+    EXPECT_GE(h + 1, lower);
+    if (pattern == gen::Weights::kBalanced) EXPECT_LE(h, 2 * lower + 2);
+    s.check_invariants();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PropertySweep,
+    ::testing::Values(SweepParam{16, SpineIndex::kPointer},
+                      SweepParam{16, SpineIndex::kLct},
+                      SweepParam{16, SpineIndex::kRc},
+                      SweepParam{64, SpineIndex::kPointer},
+                      SweepParam{64, SpineIndex::kLct},
+                      SweepParam{64, SpineIndex::kRc},
+                      SweepParam{256, SpineIndex::kLct},
+                      SweepParam{256, SpineIndex::kRc}),
+    sweep_name);
+
+}  // namespace
+}  // namespace dynsld

@@ -1,0 +1,140 @@
+// §6.1 query tests (Table 2): threshold/LCA, cluster size, cluster
+// report, and flat clustering against brute-force oracles, for every
+// spine index; the crawl-based MSF-only baselines must agree with the
+// dendrogram-based answers.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "dendrogram/static_sld.hpp"
+#include "dynsld/dyn_sld.hpp"
+#include "graph/generators.hpp"
+#include "parallel/random.hpp"
+
+namespace dynsld {
+namespace {
+
+using par::Rng;
+
+/// Brute-force: components of the forest under edges with weight <= tau.
+std::vector<vertex_id> brute_labels(vertex_id n,
+                                    const std::vector<WeightedEdge>& edges,
+                                    double tau) {
+  UnionFind uf(n);
+  for (const auto& e : edges) {
+    if (e.weight <= tau) uf.unite(e.u, e.v);
+  }
+  std::vector<vertex_id> lab(n);
+  for (vertex_id v = 0; v < n; ++v) lab[v] = uf.find(v);
+  return lab;
+}
+
+class QueryCombo : public ::testing::TestWithParam<SpineIndex> {};
+
+TEST_P(QueryCombo, AllQueriesMatchBrute) {
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    gen::Forest f = gen::random_forest(40, 3, seed);
+    DynSLD s(f.n, GetParam());
+    for (const auto& e : f.edges) s.insert(e.u, e.v, e.weight);
+    auto live = s.edges();
+    Rng rng(seed * 11);
+    for (int q = 0; q < 60; ++q) {
+      double tau = static_cast<double>(rng.next_bounded(45));
+      auto lab = brute_labels(f.n, live, tau);
+      vertex_id u = static_cast<vertex_id>(rng.next_bounded(f.n));
+      vertex_id v = static_cast<vertex_id>(rng.next_bounded(f.n));
+      // threshold query
+      EXPECT_EQ(s.same_cluster(u, v, tau), lab[u] == lab[v])
+          << "tau " << tau << " u " << u << " v " << v;
+      // cluster size
+      uint64_t want_size = 0;
+      for (vertex_id x = 0; x < f.n; ++x) {
+        if (lab[x] == lab[u]) ++want_size;
+      }
+      EXPECT_EQ(s.cluster_size(u, tau), want_size) << "tau " << tau;
+      EXPECT_EQ(s.cluster_size_via_crawl(u, tau), want_size);
+      // cluster report
+      auto rep = s.cluster_report(u, tau);
+      std::set<vertex_id> got(rep.begin(), rep.end());
+      EXPECT_EQ(got.size(), rep.size()) << "duplicates in report";
+      std::set<vertex_id> want;
+      for (vertex_id x = 0; x < f.n; ++x) {
+        if (lab[x] == lab[u]) want.insert(x);
+      }
+      EXPECT_EQ(got, want) << "tau " << tau;
+      auto rep2 = s.cluster_report_via_crawl(u, tau);
+      EXPECT_EQ(std::set<vertex_id>(rep2.begin(), rep2.end()), want);
+      // flat clustering: same partition as brute labels
+      auto flat = s.flat_clustering(tau);
+      for (vertex_id a = 0; a < f.n; ++a) {
+        for (vertex_id b = a + 1; b < std::min<vertex_id>(f.n, a + 5); ++b) {
+          EXPECT_EQ(flat[a] == flat[b], lab[a] == lab[b]);
+        }
+      }
+    }
+  }
+}
+
+TEST_P(QueryCombo, QueriesTrackUpdates) {
+  // Queries stay correct as the forest changes.
+  const vertex_id n = 30;
+  Rng rng(77);
+  DynSLD s(n, GetParam());
+  std::vector<edge_id> live;
+  for (int step = 0; step < 120; ++step) {
+    bool ins = live.empty() || rng.next_bounded(10) < 6;
+    if (ins) {
+      vertex_id u = static_cast<vertex_id>(rng.next_bounded(n));
+      vertex_id v = static_cast<vertex_id>(rng.next_bounded(n));
+      if (u == v || s.connected(u, v)) continue;
+      live.push_back(s.insert(u, v, static_cast<double>(rng.next_bounded(500))));
+    } else {
+      size_t i = rng.next_bounded(live.size());
+      s.erase(live[i]);
+      live.erase(live.begin() + static_cast<long>(i));
+    }
+    double tau = static_cast<double>(rng.next_bounded(500));
+    auto edges = s.edges();
+    auto lab = brute_labels(n, edges, tau);
+    vertex_id u = static_cast<vertex_id>(rng.next_bounded(n));
+    uint64_t want = 0;
+    for (vertex_id x = 0; x < n; ++x) {
+      if (lab[x] == lab[u]) ++want;
+    }
+    EXPECT_EQ(s.cluster_size(u, tau), want) << "step " << step;
+  }
+}
+
+TEST_P(QueryCombo, ThresholdEdgeCases) {
+  DynSLD s(5, GetParam());
+  edge_id e1 = s.insert(0, 1, 10.0);
+  s.insert(1, 2, 20.0);
+  (void)e1;
+  EXPECT_TRUE(s.same_cluster(0, 0, 0.0));          // identical vertices
+  EXPECT_TRUE(s.same_cluster(0, 1, 10.0));         // inclusive threshold
+  EXPECT_FALSE(s.same_cluster(0, 1, 9.999));
+  EXPECT_FALSE(s.same_cluster(0, 4, 1e18));        // different components
+  EXPECT_EQ(s.cluster_size(4, 100.0), 1u);         // isolated vertex
+  EXPECT_EQ(s.cluster_report(4, 100.0), std::vector<vertex_id>{4});
+  EXPECT_EQ(s.cluster_size(0, 10.0), 2u);
+  EXPECT_EQ(s.cluster_size(0, 20.0), 3u);
+  EXPECT_EQ(s.cluster_size(0, 5.0), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Indices, QueryCombo,
+                         ::testing::Values(SpineIndex::kPointer, SpineIndex::kLct,
+                                           SpineIndex::kRc),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case SpineIndex::kPointer:
+                               return "ptr";
+                             case SpineIndex::kLct:
+                               return "lct";
+                             default:
+                               return "rc";
+                           }
+                         });
+
+}  // namespace
+}  // namespace dynsld

@@ -1,0 +1,294 @@
+// RC tree tests: randomized cross-check of connectivity, component
+// aggregates, path decomposition, path queries (max edge, length,
+// select, PWS, median) and dynamic link/cut against a brute-force
+// forest; plus hierarchy-shape checks (O(log n) height).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "parallel/random.hpp"
+#include "rctree/rc_tree.hpp"
+
+namespace dynsld::rctree {
+namespace {
+
+using par::Rng;
+
+struct BruteForest {
+  explicit BruteForest(int n) : adj(n) {}
+  std::vector<std::set<std::pair<int, double>>> adj;  // (nbr, edge weight)
+
+  void link(int u, int v, double w) {
+    adj[u].insert({v, w});
+    adj[v].insert({u, w});
+  }
+  void cut(int u, int v) {
+    auto drop = [&](int a, int b) {
+      for (auto it = adj[a].begin(); it != adj[a].end(); ++it) {
+        if (it->first == b) {
+          adj[a].erase(it);
+          return;
+        }
+      }
+    };
+    drop(u, v);
+    drop(v, u);
+  }
+  std::vector<int> path(int u, int v) const {
+    std::vector<int> par(adj.size(), -2);
+    std::vector<int> q{u};
+    par[u] = -1;
+    for (size_t h = 0; h < q.size(); ++h) {
+      for (auto [y, w] : adj[q[h]]) {
+        (void)w;
+        if (par[y] == -2) {
+          par[y] = q[h];
+          q.push_back(y);
+        }
+      }
+    }
+    if (par[v] == -2) return {};
+    std::vector<int> p;
+    for (int x = v; x != -1; x = par[x]) p.push_back(x);
+    std::reverse(p.begin(), p.end());
+    return p;
+  }
+  std::vector<int> component(int u) const {
+    std::vector<char> seen(adj.size(), 0);
+    std::vector<int> q{u};
+    seen[u] = 1;
+    for (size_t h = 0; h < q.size(); ++h) {
+      for (auto [y, w] : adj[q[h]]) {
+        (void)w;
+        if (!seen[y]) {
+          seen[y] = 1;
+          q.push_back(y);
+        }
+      }
+    }
+    return q;
+  }
+  double edge_weight(int u, int v) const {
+    for (auto [y, w] : adj[u]) {
+      if (y == v) return w;
+    }
+    return -1;
+  }
+};
+
+TEST(RcTree, SmallPathManual) {
+  RcTree t(5);
+  for (vertex_id v = 0; v < 5; ++v) {
+    t.set_vertex_weight(v, Rank{static_cast<double>(v + 1), v});
+  }
+  t.link(0, 1, Rank{10, 0});
+  t.link(1, 2, Rank{20, 1});
+  t.link(2, 3, Rank{30, 2});
+  t.link(3, 4, Rank{40, 3});
+  EXPECT_TRUE(t.connected(0, 4));
+  EXPECT_EQ(t.component_size(2), 5u);
+  EXPECT_EQ(t.component_argmax(0), 4u);  // weight 5 at vertex 4
+  EXPECT_EQ(t.path_length(0, 4), 5u);
+  EXPECT_EQ(t.path_length(1, 3), 3u);
+  EXPECT_EQ(t.path_max_edge(0, 4).weight, 40.0);
+  EXPECT_EQ(t.path_max_edge(0, 2).weight, 20.0);
+  auto verts = t.path_vertices(0, 4);
+  EXPECT_EQ(verts, (std::vector<vertex_id>{0, 1, 2, 3, 4}));
+  auto rev = t.path_vertices(4, 1);
+  EXPECT_EQ(rev, (std::vector<vertex_id>{4, 3, 2, 1}));
+  // Monotone weights along 0..4: PWS.
+  EXPECT_EQ(t.path_weight_search(0, 4, Rank{3.5, 0}), 2u);
+  EXPECT_EQ(t.path_weight_search(0, 4, Rank{100, 0}), 4u);
+  EXPECT_EQ(t.path_weight_search(0, 4, Rank{0.5, 0}), kNoVertex);
+  EXPECT_EQ(t.path_median(0, 4), 2u);
+  t.cut(2, 3);
+  EXPECT_FALSE(t.connected(0, 4));
+  EXPECT_EQ(t.component_size(0), 3u);
+  EXPECT_EQ(t.component_size(4), 2u);
+}
+
+TEST(RcTree, StarAndRelink) {
+  RcTree t(8);
+  for (vertex_id v = 0; v < 8; ++v) {
+    t.set_vertex_weight(v, Rank{static_cast<double>(v), v});
+  }
+  for (vertex_id v = 1; v < 8; ++v) {
+    t.link(0, v, Rank{static_cast<double>(v), v});
+  }
+  EXPECT_EQ(t.component_size(0), 8u);
+  EXPECT_EQ(t.path_length(3, 5), 3u);  // 3 - 0 - 5
+  EXPECT_EQ(t.path_max_edge(3, 5), (Rank{5.0, 5}));
+  t.cut(0, 3);
+  EXPECT_FALSE(t.connected(3, 5));
+  t.link(3, 5, Rank{99, 100});
+  EXPECT_TRUE(t.connected(3, 0));
+  EXPECT_EQ(t.path_length(3, 0), 3u);  // 3 - 5 - 0
+  EXPECT_EQ(t.path_max_edge(3, 0), (Rank{99.0, 100}));
+}
+
+class RcRandom : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RcRandom, MatchesBruteForest) {
+  const int n = 48;
+  Rng rng(GetParam());
+  RcTree t(n);
+  BruteForest b(n);
+  std::vector<Rank> vw(n);
+  for (int v = 0; v < n; ++v) {
+    vw[v] = Rank{static_cast<double>(rng.next_bounded(100000)),
+                 static_cast<edge_id>(v)};
+    t.set_vertex_weight(static_cast<vertex_id>(v), vw[v]);
+  }
+  std::vector<std::pair<int, int>> edges;
+  edge_id next_eid = 1000;
+  for (int step = 0; step < 500; ++step) {
+    int u = static_cast<int>(rng.next_bounded(n));
+    int v = static_cast<int>(rng.next_bounded(n));
+    uint64_t op = rng.next_bounded(12);
+    if (op < 5) {
+      if (u != v && b.path(u, v).empty()) {
+        double w = static_cast<double>(rng.next_bounded(100000));
+        t.link(static_cast<vertex_id>(u), static_cast<vertex_id>(v),
+               Rank{w, next_eid++});
+        b.link(u, v, w);
+        edges.emplace_back(u, v);
+      }
+    } else if (op < 7 && !edges.empty()) {
+      size_t i = rng.next_bounded(edges.size());
+      auto [x, y] = edges[i];
+      t.cut(static_cast<vertex_id>(x), static_cast<vertex_id>(y));
+      b.cut(x, y);
+      edges.erase(edges.begin() + static_cast<long>(i));
+    } else if (op < 8) {
+      auto p = b.path(u, v);
+      EXPECT_EQ(t.connected(static_cast<vertex_id>(u), static_cast<vertex_id>(v)),
+                !p.empty() || u == v)
+          << "step " << step;
+    } else if (op < 9) {
+      auto comp = b.component(u);
+      EXPECT_EQ(t.component_size(static_cast<vertex_id>(u)), comp.size())
+          << "step " << step;
+      // argmax over component vertex weights
+      int want = comp[0];
+      for (int x : comp) {
+        if (vw[want] < vw[x]) want = x;
+      }
+      EXPECT_EQ(t.component_argmax(static_cast<vertex_id>(u)),
+                static_cast<vertex_id>(want))
+          << "step " << step;
+    } else {
+      auto p = b.path(u, v);
+      if (p.empty()) continue;
+      // path vertices + length
+      auto got = t.path_vertices(static_cast<vertex_id>(u),
+                                 static_cast<vertex_id>(v));
+      std::vector<vertex_id> want(p.begin(), p.end());
+      EXPECT_EQ(got, want) << "step " << step;
+      EXPECT_EQ(t.path_length(static_cast<vertex_id>(u),
+                              static_cast<vertex_id>(v)),
+                p.size());
+      if (p.size() >= 2) {
+        double wmax = -1;
+        for (size_t i = 0; i + 1 < p.size(); ++i) {
+          wmax = std::max(wmax, b.edge_weight(p[i], p[i + 1]));
+        }
+        EXPECT_EQ(t.path_max_edge(static_cast<vertex_id>(u),
+                                  static_cast<vertex_id>(v))
+                      .weight,
+                  wmax)
+            << "step " << step;
+      }
+      // select every index
+      for (size_t k = 0; k < p.size(); ++k) {
+        EXPECT_EQ(t.path_select(static_cast<vertex_id>(u),
+                                static_cast<vertex_id>(v), k),
+                  static_cast<vertex_id>(p[k]))
+            << "step " << step << " k " << k;
+      }
+      EXPECT_EQ(t.path_median(static_cast<vertex_id>(u),
+                              static_cast<vertex_id>(v)),
+                static_cast<vertex_id>(p[p.size() / 2]));
+    }
+    if (step % 100 == 0) t.check_invariants();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RcRandom, ::testing::Range<uint64_t>(1, 11));
+
+TEST(RcTree, PwsOnMonotonePaths) {
+  // Build a path whose vertex weights increase; query PWS exhaustively.
+  const int n = 64;
+  RcTree t(n);
+  Rng rng(5);
+  std::vector<double> w(n);
+  double acc = 0;
+  for (int v = 0; v < n; ++v) {
+    acc += 1 + static_cast<double>(rng.next_bounded(10));
+    w[v] = acc;
+    t.set_vertex_weight(static_cast<vertex_id>(v),
+                        Rank{acc, static_cast<edge_id>(v)});
+  }
+  for (int v = 0; v + 1 < n; ++v) {
+    t.link(static_cast<vertex_id>(v), static_cast<vertex_id>(v + 1),
+           Rank{0, static_cast<edge_id>(1000 + v)});
+  }
+  for (int lo = 0; lo < n; lo += 7) {
+    for (int hi = lo; hi < n; hi += 5) {
+      for (double q : {w[lo] - 0.5, w[lo] + 0.5, (w[lo] + w[hi]) / 2,
+                       w[hi] + 0.5}) {
+        vertex_id want = kNoVertex;
+        for (int x = lo; x <= hi; ++x) {
+          if (w[x] < q) want = static_cast<vertex_id>(x);
+        }
+        EXPECT_EQ(t.path_weight_search(static_cast<vertex_id>(lo),
+                                       static_cast<vertex_id>(hi),
+                                       Rank{q, 0}),
+                  want)
+            << lo << ".." << hi << " q=" << q;
+      }
+    }
+  }
+}
+
+TEST(RcTree, HierarchyHeightLogarithmic) {
+  // A long path is the adversarial case for contraction depth.
+  const int n = 4096;
+  RcTree t(n);
+  for (int v = 0; v + 1 < n; ++v) {
+    t.link(static_cast<vertex_id>(v), static_cast<vertex_id>(v + 1),
+           Rank{1.0, static_cast<edge_id>(v)});
+  }
+  // Expected O(log n) rounds; allow a generous constant.
+  EXPECT_LE(t.hierarchy_height(), 80u);
+  t.check_invariants();
+}
+
+TEST(RcForest, RootedAdapterBasics) {
+  RcForest f;
+  // Chain 0 <- 1 <- 2 (ranks increase upward: parent has higher rank).
+  for (edge_id e = 0; e < 6; ++e) {
+    f.add_node(e, Rank{static_cast<double>(e + 1), e});
+  }
+  f.link_to_parent(0, 1);
+  f.link_to_parent(1, 2);
+  f.link_to_parent(3, 4);
+  EXPECT_EQ(f.root_of(0), 2u);
+  EXPECT_EQ(f.root_of(3), 4u);
+  EXPECT_EQ(f.spine_length(0), 3u);
+  EXPECT_EQ(f.spine(0), (std::vector<edge_id>{0, 1, 2}));
+  EXPECT_EQ(f.spine_search_below(0, Rank{2.5, 0}), 1u);
+  EXPECT_EQ(f.spine_search_below(0, Rank{0.5, 0}), kNoEdge);
+  EXPECT_EQ(f.spine_select_from_top(0, 0), 2u);
+  EXPECT_EQ(f.spine_select_from_top(0, 2), 0u);
+  EXPECT_EQ(f.subtree_size(2), 3u);
+  EXPECT_EQ(f.subtree_size(1), 2u);
+  EXPECT_EQ(f.subtree_size(0), 1u);
+  f.cut_from_parent(1);
+  EXPECT_EQ(f.root_of(0), 1u);
+  EXPECT_EQ(f.spine_length(0), 2u);
+}
+
+}  // namespace
+}  // namespace dynsld::rctree

@@ -1,0 +1,83 @@
+// Shared test helpers: brute-force oracles and dendrogram comparison.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "dendrogram/dendrogram.hpp"
+#include "graph/types.hpp"
+
+namespace dynsld::test {
+
+/// Brute-force SLD straight from the definition: simulate agglomerative
+/// clustering with explicit vertex sets, merging edges in rank order.
+/// O(n^2) — for validating build_kruskal on small instances.
+inline Dendrogram build_brute(vertex_id n, std::vector<WeightedEdge> edges) {
+  std::sort(edges.begin(), edges.end(),
+            [](const WeightedEdge& a, const WeightedEdge& b) {
+              return a.rank() < b.rank();
+            });
+  edge_id max_id = 0;
+  for (const auto& e : edges) max_id = std::max(max_id, e.id);
+  Dendrogram d(edges.empty() ? 0 : static_cast<size_t>(max_id) + 1);
+  // cluster of each vertex: set of members + current top node.
+  std::map<vertex_id, std::set<vertex_id>> clusters;
+  std::map<vertex_id, edge_id> top;  // keyed by cluster representative
+  std::vector<vertex_id> rep(n);
+  std::iota(rep.begin(), rep.end(), vertex_id{0});
+  for (vertex_id v = 0; v < n; ++v) clusters[v] = {v};
+  for (const auto& e : edges) {
+    d.add_node(e);
+    vertex_id ra = rep[e.u], rb = rep[e.v];
+    EXPECT_NE(ra, rb) << "input not a forest";
+    if (top.count(ra)) d.set_parent(top[ra], e.id);
+    if (top.count(rb)) d.set_parent(top[rb], e.id);
+    for (vertex_id m : clusters[rb]) {
+      clusters[ra].insert(m);
+      rep[m] = ra;
+    }
+    clusters.erase(rb);
+    top.erase(rb);
+    top[ra] = e.id;
+  }
+  return d;
+}
+
+/// Pretty diff of two dendrograms for failure messages.
+inline std::string describe_diff(const Dendrogram& got, const Dendrogram& want) {
+  std::ostringstream os;
+  size_t cap = std::max(got.capacity(), want.capacity());
+  int shown = 0;
+  for (edge_id e = 0; e < cap && shown < 12; ++e) {
+    bool ga = got.alive(e), wa = want.alive(e);
+    if (ga != wa) {
+      os << "node " << e << ": alive " << ga << " vs " << wa << "\n";
+      ++shown;
+      continue;
+    }
+    if (!ga) continue;
+    if (got.parent(e) != want.parent(e)) {
+      os << "node " << e << " (w=" << got.node(e).weight << "): parent "
+         << static_cast<int64_t>(got.parent(e) == kNoEdge ? -1 : got.parent(e))
+         << " vs "
+         << static_cast<int64_t>(want.parent(e) == kNoEdge ? -1 : want.parent(e))
+         << "\n";
+      ++shown;
+    }
+  }
+  return os.str();
+}
+
+#define EXPECT_DENDRO_EQ(got, want) \
+  EXPECT_TRUE((got) == (want)) << dynsld::test::describe_diff((got), (want))
+
+#define ASSERT_DENDRO_EQ(got, want) \
+  ASSERT_TRUE((got) == (want)) << dynsld::test::describe_diff((got), (want))
+
+}  // namespace dynsld::test
