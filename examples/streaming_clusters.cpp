@@ -1,12 +1,18 @@
 // Streaming clustering: points arrive and leave over time (the
-// intro's motivating "rapidly changing modern datasets"); the pipeline
+// intro's motivating "rapidly changing modern datasets"); the engine
 // maintains the exact single-linkage dendrogram of the evolving
 // similarity graph and answers live cluster queries.
 //
+// This drives the serving engine (SldService) rather than a raw
+// DynamicClustering: edges are enqueued against tickets, each window
+// slide is one coalesced batch flush, and the cluster census reads an
+// immutable epoch snapshot — the same output as the raw pipeline, now
+// through an API that also supports concurrent readers.
+//
 // Workload: a sliding window over a stream of 2-D points (three moving
-// Gaussian-ish blobs). Each window step inserts new points' edges into
-// the dynamic-MSF pipeline and deletes expired ones, then reports the
-// cluster structure at a fixed distance threshold.
+// Gaussian-ish blobs). Each window step inserts new points' edges,
+// erases expired ones, flushes, then reports the cluster structure at a
+// fixed distance threshold.
 //
 //   $ ./streaming_clusters
 #include <cmath>
@@ -14,10 +20,11 @@
 #include <deque>
 #include <vector>
 
-#include "msf/dynamic_msf.hpp"
+#include "engine/sld_service.hpp"
 #include "parallel/random.hpp"
 
 using namespace dynsld;
+using namespace dynsld::engine;
 
 int main() {
   const int window = 120;         // live points
@@ -26,13 +33,15 @@ int main() {
   const double tau = 0.35;        // clustering threshold
   const vertex_id capacity = window + steps * per_step;
 
-  DynamicClustering dc(capacity);
+  ServiceConfig cfg;
+  cfg.num_vertices = capacity;
+  SldService svc(cfg);
   par::Rng rng(2026);
 
   struct Point {
     vertex_id id;
     double x, y;
-    std::vector<uint32_t> edges;  // graph-edge handles touching it
+    std::vector<ticket_t> edges;  // tickets of edges touching it
   };
   std::deque<Point> live;
   vertex_id next_id = 0;
@@ -49,12 +58,14 @@ int main() {
     p.id = next_id++;
     p.x = cx + (rng.next_double() - 0.5) * 0.3;
     p.y = cy + (rng.next_double() - 0.5) * 0.3;
-    // Similarity edges to all live points within distance 0.8, recorded
-    // on both endpoints so expiry can remove them from either side.
+    // Similarity edges to all live points within distance 0.8. Tickets
+    // are stable from enqueue time, so expiry needs no liveness check:
+    // a repeated erase of the same ticket is dropped by the queue (same
+    // batch) or by the router's ticket ledger (later batch).
     for (Point& q : live) {
       double d = std::hypot(p.x - q.x, p.y - q.y);
       if (d <= 0.8) {
-        uint32_t h = dc.insert_edge(p.id, q.id, d);
+        ticket_t h = svc.insert(p.id, q.id, d);
         p.edges.push_back(h);
         q.edges.push_back(h);
       }
@@ -64,26 +75,22 @@ int main() {
 
   for (int i = 0; i < window; ++i) add_point(0);
 
-  std::printf("%5s %7s %7s %9s %10s %8s\n", "step", "points", "edges",
-              "msf_edges", "clusters", "biggest");
+  std::printf("%5s %7s %9s %7s %10s %8s\n", "step", "points", "msf_edges",
+              "epoch", "clusters", "biggest");
   for (int t = 0; t < steps; ++t) {
-    // Expire the oldest points (their edges go with them).
+    // Expire the oldest points; their edges go with them (each edge's
+    // ticket is recorded on both endpoints — the duplicate erase from
+    // the second endpoint coalesces away in the mutation queue).
     for (int i = 0; i < per_step; ++i) {
-      // Handles may be stale (already erased and possibly reused for an
-      // unrelated edge): only erase live edges actually touching the
-      // expiring vertex.
-      vertex_id dying = live.front().id;
-      for (uint32_t h : live.front().edges) {
-        if (!dc.edge_alive(h)) continue;
-        auto e = dc.edge(h);
-        if (e.u == dying || e.v == dying) dc.erase_edge(h);
-      }
+      for (ticket_t h : live.front().edges) svc.erase(h);
       live.pop_front();
     }
     for (int i = 0; i < per_step; ++i) add_point(t);
+    svc.flush();  // one batch per window slide -> one epoch
 
-    // Cluster census at threshold tau.
-    auto labels = dc.sld().flat_clustering(tau);
+    // Cluster census at threshold tau against the new epoch.
+    auto snap = svc.snapshot();
+    auto labels = snap->flat_clustering(tau);
     std::vector<int> count(capacity, 0);
     int clusters = 0, biggest = 0;
     for (const Point& p : live) {
@@ -91,13 +98,14 @@ int main() {
       if (c == 1) ++clusters;
       if (c > biggest) biggest = c;
     }
-    std::printf("%5d %7zu %7zu %9zu %10d %8d\n", t, live.size(), dc.num_edges(),
-                dc.num_tree_edges(), clusters, biggest);
+    std::printf("%5d %7zu %9zu %7llu %10d %8d\n", t, live.size(),
+                snap->num_tree_edges(), (unsigned long long)snap->epoch(),
+                clusters, biggest);
   }
 
   // Drill into the cluster of the newest point.
   const Point& probe = live.back();
-  auto members = dc.sld().cluster_report(probe.id, tau);
+  auto members = svc.cluster_report(probe.id, tau);
   std::printf("\ncluster of newest point %u at tau=%.2f: %zu members\n",
               probe.id, tau, members.size());
   return 0;

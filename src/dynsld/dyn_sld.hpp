@@ -148,6 +148,22 @@ class DynSLD {
   /// Max-rank edge on the forest path s..t (s, t must be connected).
   WeightedEdge max_edge_on_path(vertex_id s, vertex_id t);
 
+  // ---- const snapshot-export surface (engine epoch snapshots) ----
+  // Everything a consistent read snapshot needs is reachable without
+  // mutating the structure: the dendrogram (parents/children/weights via
+  // dendrogram()), and e*_v per vertex below. The engine materializes
+  // these into an immutable DendrogramSnapshot between batch flushes.
+
+  /// e*_v for every vertex in one pass (kNoEdge where isolated). O(n).
+  std::vector<edge_id> min_incident_all() const;
+
+  /// Ephemeral component representative of v's tree in the input forest:
+  /// equal ids iff connected. Valid only until the next update (the
+  /// underlying link-cut tree re-roots on access). Used by the batch
+  /// front-end to group updates by component without pairwise
+  /// connectivity queries.
+  int component_id(vertex_id v);
+
   /// Exhaustive structural checks (children consistency, heap order,
   /// index agreement); O(n log n). Test-only.
   void check_invariants();

@@ -259,6 +259,14 @@ edge_id DynSLD::min_incident_edge(vertex_id v) const {
   return set.empty() ? kNoEdge : set.begin()->id;
 }
 
+std::vector<edge_id> DynSLD::min_incident_all() const {
+  std::vector<edge_id> out(n_);
+  for (vertex_id v = 0; v < n_; ++v) out[v] = min_incident_edge(v);
+  return out;
+}
+
+int DynSLD::component_id(vertex_id v) { return conn_.find_root(conn_vertex(v)); }
+
 WeightedEdge DynSLD::max_edge_on_path(vertex_id s, vertex_id t) {
   assert(s != t && connected(s, t));
   Rank mx = conn_.path_max(conn_vertex(s), conn_vertex(t));

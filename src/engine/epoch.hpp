@@ -1,0 +1,156 @@
+// Epoch-based read snapshots.
+//
+// The engine publishes a new EngineSnapshot after every batch flush.
+// Readers acquire() the current snapshot (a shared_ptr copy) and run
+// any number of queries against it — the answers are mutually
+// consistent and correspond to exactly one prefix of the applied update
+// stream, no matter how many flushes happen meanwhile. Reclamation is
+// the shared_ptr refcount: a superseded epoch is destroyed when its
+// last reader releases it, which is precisely epoch-based reclamation
+// without a separate quiescence protocol.
+//
+// An EngineSnapshot combines the per-shard DendrogramSnapshots with the
+// cross-shard edge view and answers the merged §6.1 queries exactly:
+// single-linkage clusters at threshold tau are the connected components
+// of the sub-tau edges, and the edge set is partitioned into intra-
+// shard edges (each shard's clusters are exact for its subgraph) plus
+// the cross table, so merging per-shard clusters along sub-tau cross
+// edges reproduces the global clustering. With no sub-tau cross edges
+// the queries collapse to the owning shard's O(log h) lookups.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "engine/snapshot.hpp"
+#include "engine/stats.hpp"
+#include "graph/types.hpp"
+
+namespace dynsld::engine {
+
+/// Vertex-range shard assignment: shard k owns [k*stride, (k+1)*stride).
+struct ShardMap {
+  vertex_id n = 0;
+  int num_shards = 1;
+  vertex_id stride = 0;
+
+  static ShardMap make(vertex_id n, int num_shards) {
+    ShardMap m;
+    m.n = n;
+    m.num_shards = num_shards < 1 ? 1 : num_shards;
+    m.stride = (n + m.num_shards - 1) / m.num_shards;
+    if (m.stride == 0) m.stride = 1;
+    return m;
+  }
+
+  int home(vertex_id v) const { return static_cast<int>(v / stride); }
+  bool intra(vertex_id u, vertex_id v) const { return home(u) == home(v); }
+};
+
+/// Immutable view of the cross-shard edge table, rebuilt on epochs whose
+/// flush touched it: alive cross edges sorted by weight plus a CSR
+/// index by endpoint.
+class CrossEdgeView {
+ public:
+  struct Edge {
+    vertex_id u, v;
+    double w;
+  };
+
+  CrossEdgeView() = default;
+  /// `edges` need not be sorted; the view sorts by weight.
+  explicit CrossEdgeView(std::vector<Edge> edges, vertex_id n);
+
+  bool empty() const { return edges_.empty(); }
+  size_t size() const { return edges_.size(); }
+  double min_weight() const;
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  /// Visit every cross edge incident to v: f(other_endpoint, weight).
+  template <typename F>
+  void for_each_incident(vertex_id v, F&& f) const {
+    for (uint32_t i = off_[v]; i < off_[v + 1]; ++i) {
+      const Edge& e = edges_[adj_[i]];
+      f(e.u == v ? e.v : e.u, e.w);
+    }
+  }
+
+ private:
+  std::vector<Edge> edges_;  // weight-ascending
+  std::vector<uint32_t> off_, adj_;
+};
+
+class EngineSnapshot {
+ public:
+  uint64_t epoch() const { return epoch_; }
+  const ShardMap& shard_map() const { return map_; }
+  const DendrogramSnapshot& shard(int k) const { return *shards_[k]; }
+  const CrossEdgeView& cross() const { return *cross_; }
+  /// Dendrogram nodes across the shard snapshots — intra-shard forest
+  /// edges only; cross-table edges are raw and counted by cross().
+  size_t num_tree_edges() const;
+
+  // ---- merged §6.1 queries (exact across shards) ----
+  bool same_cluster(vertex_id s, vertex_id t, double tau) const;
+  uint64_t cluster_size(vertex_id u, double tau) const;
+  std::vector<vertex_id> cluster_report(vertex_id u, double tau) const;
+  std::vector<vertex_id> flat_clustering(double tau) const;
+
+  /// The epoch's full alive edge set (tree + non-tree + cross), present
+  /// only when the service runs with capture_edges (verification mode);
+  /// ids are dense positions.
+  const std::vector<WeightedEdge>& captured_edges() const { return edges_; }
+
+ private:
+  friend class ShardRouter;
+  EngineSnapshot() = default;
+
+  /// Cluster-of-u BFS across shard blobs and cross edges; appends
+  /// members to out. Early-exits (returns true) when `stop` is hit.
+  bool collect_cluster(vertex_id u, double tau, std::vector<vertex_id>& out,
+                       vertex_id stop) const;
+
+  uint64_t epoch_ = 0;
+  ShardMap map_;
+  std::vector<std::shared_ptr<const DendrogramSnapshot>> shards_;
+  std::shared_ptr<const CrossEdgeView> cross_;
+  std::vector<WeightedEdge> edges_;
+  // Query accounting: shared with the publishing service so counting
+  // stays safe even for readers that outlive it.
+  std::shared_ptr<EngineStats> stats_;
+};
+
+/// Publication point between the writer and the readers.
+class EpochManager {
+ public:
+  using Snap = std::shared_ptr<const EngineSnapshot>;
+
+  /// Current snapshot; never null once the service has constructed
+  /// (epoch 0 is the empty snapshot). Wait-free for readers modulo the
+  /// shared_ptr control-block increment.
+  Snap acquire() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return cur_;
+  }
+
+  void publish(Snap s) {
+    uint64_t e = s->epoch();
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      cur_ = std::move(s);
+    }
+    epoch_.store(e, std::memory_order_release);
+  }
+
+  uint64_t cur_epoch() const { return epoch_.load(std::memory_order_acquire); }
+
+ private:
+  mutable std::mutex mu_;
+  Snap cur_;
+  std::atomic<uint64_t> epoch_{0};
+};
+
+}  // namespace dynsld::engine

@@ -1,0 +1,114 @@
+// Update front-end: a thread-safe mutation queue that coalesces
+// pending operations before they reach the shards.
+//
+// Clients get a ticket per insertion and erase by ticket, so an edge's
+// identity is stable from the moment it is enqueued even though the
+// shard-level handle only exists after the flush that applies it.
+// Coalescing rules, applied under the queue lock:
+//
+//   - erase(t) while insert(t) is still pending annihilates both (the
+//     edge never existed as far as the shards are concerned) — the
+//     common churn pattern of short-lived edges costs zero shard work;
+//   - a second erase of the same pending ticket is dropped;
+//   - insert tickets are unique, so inserts never merge.
+//
+// drain() hands the writer everything pending in one atomic cut. An
+// erase can therefore only reference a ticket applied by an *earlier*
+// epoch: an insert/erase pair inside one cut has already annihilated.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "engine/stats.hpp"
+#include "graph/types.hpp"
+
+namespace dynsld::engine {
+
+using ticket_t = uint64_t;
+inline constexpr ticket_t kNoTicket = static_cast<ticket_t>(-1);
+
+class MutationQueue {
+ public:
+  struct InsertOp {
+    ticket_t ticket;
+    vertex_id u, v;
+    double w;
+  };
+
+  struct Drained {
+    std::vector<InsertOp> inserts;  // enqueue order
+    std::vector<ticket_t> erases;   // enqueue order, deduplicated
+    size_t size() const { return inserts.size() + erases.size(); }
+    bool empty() const { return inserts.empty() && erases.empty(); }
+  };
+
+  explicit MutationQueue(EngineStats* stats = nullptr) : stats_(stats) {}
+
+  ticket_t enqueue_insert(vertex_id u, vertex_id v, double w) {
+    std::lock_guard<std::mutex> lk(mu_);
+    ticket_t t = next_ticket_++;
+    pending_pos_[t] = inserts_.size();
+    inserts_.push_back(InsertOp{t, u, v, w});
+    ++live_inserts_;
+    if (stats_) stats_->inserts_enqueued.fetch_add(1, std::memory_order_relaxed);
+    return t;
+  }
+
+  /// Returns false when the erase annihilated a pending insert (nothing
+  /// will reach the shards), true when it was queued for the next flush.
+  bool enqueue_erase(ticket_t t) {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (stats_) stats_->erases_enqueued.fetch_add(1, std::memory_order_relaxed);
+    auto it = pending_pos_.find(t);
+    if (it != pending_pos_.end()) {
+      inserts_[it->second].ticket = kNoTicket;  // tombstone
+      pending_pos_.erase(it);
+      --live_inserts_;
+      if (stats_) stats_->coalesced_pairs.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    if (!erase_set_.insert(t).second) {
+      if (stats_) stats_->duplicate_erases.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    erases_.push_back(t);
+    return true;
+  }
+
+  Drained drain() {
+    std::lock_guard<std::mutex> lk(mu_);
+    Drained d;
+    d.inserts.reserve(live_inserts_);
+    for (const InsertOp& op : inserts_) {
+      if (op.ticket != kNoTicket) d.inserts.push_back(op);
+    }
+    d.erases = std::move(erases_);
+    inserts_.clear();
+    pending_pos_.clear();
+    erases_.clear();
+    erase_set_.clear();
+    live_inserts_ = 0;
+    return d;
+  }
+
+  size_t pending() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return live_inserts_ + erases_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  ticket_t next_ticket_ = 0;
+  std::vector<InsertOp> inserts_;
+  std::unordered_map<ticket_t, size_t> pending_pos_;
+  std::vector<ticket_t> erases_;
+  std::unordered_set<ticket_t> erase_set_;
+  size_t live_inserts_ = 0;
+  EngineStats* stats_;
+};
+
+}  // namespace dynsld::engine

@@ -1,0 +1,159 @@
+#include "engine/shard_router.hpp"
+
+#include <cassert>
+#include <chrono>
+
+#include "parallel/par.hpp"
+
+namespace dynsld::engine {
+
+ShardRouter::ShardRouter(vertex_id n, int num_shards, SpineIndex index,
+                         std::shared_ptr<EngineStats> stats)
+    : map_(ShardMap::make(n, num_shards)), stats_(std::move(stats)) {
+  shards_.reserve(map_.num_shards);
+  for (int k = 0; k < map_.num_shards; ++k)
+    shards_.push_back(std::make_unique<DynamicClustering>(n, index));
+  dirty_.assign(map_.num_shards, 0);
+  cross_view_ = std::make_shared<CrossEdgeView>(std::vector<CrossEdgeView::Edge>{}, n);
+}
+
+void ShardRouter::apply(const MutationQueue::Drained& batch) {
+  // Route. Erases resolve through the ticket ledger; inserts split into
+  // per-shard sub-batches and cross-table appends.
+  std::vector<std::vector<DynamicClustering::graph_edge>> shard_erases(
+      shards_.size());
+  std::vector<std::vector<DynamicClustering::EdgeUpdate>> shard_inserts(
+      shards_.size());
+  std::vector<std::vector<ticket_t>> shard_insert_tickets(shards_.size());
+
+  for (ticket_t t : batch.erases) {
+    Loc* l = loc(t);
+    if (!l || l->kind == Loc::kDead) {
+      if (stats_) stats_->invalid_erases.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    if (l->kind == Loc::kCross) {
+      CrossSlot& slot = cross_[l->id];
+      slot.alive = false;
+      cross_free_.push_back(l->id);
+      --cross_alive_;
+      cross_dirty_ = true;
+      if (stats_) stats_->cross_ops.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      shard_erases[l->shard].push_back(l->id);
+      dirty_[l->shard] = 1;
+    }
+    *l = Loc{};
+  }
+
+  for (const MutationQueue::InsertOp& op : batch.inserts) {
+    if (map_.intra(op.u, op.v)) {
+      int k = map_.home(op.u);
+      shard_inserts[k].push_back({op.u, op.v, op.w});
+      shard_insert_tickets[k].push_back(op.ticket);
+      dirty_[k] = 1;
+    } else {
+      uint32_t slot;
+      if (!cross_free_.empty()) {
+        slot = cross_free_.back();
+        cross_free_.pop_back();
+      } else {
+        slot = static_cast<uint32_t>(cross_.size());
+        cross_.emplace_back();
+      }
+      cross_[slot] = CrossSlot{op.u, op.v, op.w, true};
+      ++cross_alive_;
+      cross_dirty_ = true;
+      record(op.ticket, Loc{Loc::kCross, -1, slot});
+      if (stats_) stats_->cross_ops.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  // Apply per-shard sub-batches in parallel: shards are independent
+  // structures, and the batch algorithms inside each shard fork further
+  // on the same scheduler.
+  std::vector<std::vector<DynamicClustering::graph_edge>> handles(
+      shards_.size());
+  par::parallel_for(
+      0, shards_.size(),
+      [&](size_t k) {
+        if (!shard_erases[k].empty()) shards_[k]->erase_edges(shard_erases[k]);
+        if (!shard_inserts[k].empty())
+          handles[k] = shards_[k]->insert_edges(shard_inserts[k]);
+      },
+      /*grain=*/1);
+
+  for (size_t k = 0; k < shards_.size(); ++k) {
+    for (size_t i = 0; i < handles[k].size(); ++i) {
+      record(shard_insert_tickets[k][i],
+             Loc{Loc::kShard, static_cast<int32_t>(k), handles[k][i]});
+    }
+    if (stats_ && (!shard_erases[k].empty() || !shard_inserts[k].empty()))
+      stats_->shard_batches.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+std::shared_ptr<const EngineSnapshot> ShardRouter::build_snapshot(
+    uint64_t epoch, const EngineSnapshot* prev, bool capture_edges) {
+  auto t0 = std::chrono::steady_clock::now();
+  auto snap = std::shared_ptr<EngineSnapshot>(new EngineSnapshot());
+  snap->epoch_ = epoch;
+  snap->map_ = map_;
+  snap->stats_ = stats_;
+  snap->shards_.resize(shards_.size());
+
+  uint64_t built = 0, reused = 0;
+  par::parallel_for(
+      0, shards_.size(),
+      [&](size_t k) {
+        if (prev && !dirty_[k]) {
+          snap->shards_[k] = prev->shards_[k];
+        } else {
+          snap->shards_[k] = DendrogramSnapshot::build(shards_[k]->sld());
+        }
+      },
+      /*grain=*/1);
+  for (size_t k = 0; k < shards_.size(); ++k) {
+    (prev && !dirty_[k]) ? ++reused : ++built;
+    dirty_[k] = 0;
+  }
+
+  if (cross_dirty_ || !prev) {
+    std::vector<CrossEdgeView::Edge> alive;
+    alive.reserve(cross_alive_);
+    for (const CrossSlot& s : cross_) {
+      if (s.alive) alive.push_back({s.u, s.v, s.w});
+    }
+    cross_view_ = std::make_shared<CrossEdgeView>(std::move(alive), map_.n);
+    cross_dirty_ = false;
+  }
+  snap->cross_ = cross_view_;
+
+  if (capture_edges) {
+    for (const auto& sh : shards_) {
+      for (const WeightedEdge& e : sh->all_edges()) {
+        snap->edges_.push_back(
+            WeightedEdge{e.u, e.v, e.weight,
+                         static_cast<edge_id>(snap->edges_.size())});
+      }
+    }
+    for (const CrossSlot& s : cross_) {
+      if (s.alive)
+        snap->edges_.push_back(WeightedEdge{
+            s.u, s.v, s.w, static_cast<edge_id>(snap->edges_.size())});
+    }
+  }
+
+  if (stats_) {
+    auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count();
+    stats_->snapshot_build_ns.fetch_add(ns, std::memory_order_relaxed);
+    stats_->shard_snapshots_built.fetch_add(built, std::memory_order_relaxed);
+    stats_->shard_snapshots_reused.fetch_add(reused, std::memory_order_relaxed);
+    stats_->epochs_published.fetch_add(1, std::memory_order_relaxed);
+  }
+  return snap;
+}
+
+}  // namespace dynsld::engine

@@ -1,0 +1,92 @@
+// Sharded backend: vertex-range shards, each owning an independent
+// DynamicClustering over its intra-shard edges, plus the cross-shard
+// edge table.
+//
+// An edge whose endpoints share a home shard is routed there and
+// participates in that shard's MSF + dendrogram maintenance; an edge
+// spanning two shards lands in the cross table, which is kept raw (no
+// MSF filtering) so the merged queries stay exact. Shards are
+// independent structures, so a flush applies their sub-batches in
+// parallel on the fork-join scheduler, and snapshot rebuilds touch
+// only the shards an epoch actually changed — the rest of the epoch
+// reuses the previous per-shard snapshots by pointer.
+//
+// Ticket resolution lives here: the router records where every applied
+// insertion landed (shard handle or cross slot), so later erases route
+// to the right place by ticket alone.
+//
+// Known trade-off: every shard's DynamicClustering spans the full
+// global vertex id space (a shard's foreign vertices just stay
+// isolated), which multiplies per-vertex memory by the shard count and
+// makes a dirty shard's snapshot rebuild O(n) rather than O(n/K).
+// Contiguous vertex ranges make a local-id remapping at this boundary
+// straightforward; see ROADMAP (shard-local vertex spaces).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "engine/epoch.hpp"
+#include "engine/mutation_queue.hpp"
+#include "engine/stats.hpp"
+#include "msf/dynamic_msf.hpp"
+
+namespace dynsld::engine {
+
+class ShardRouter {
+ public:
+  ShardRouter(vertex_id n, int num_shards, SpineIndex index,
+              std::shared_ptr<EngineStats> stats);
+
+  const ShardMap& shard_map() const { return map_; }
+  int num_shards() const { return map_.num_shards; }
+  DynamicClustering& shard(int k) { return *shards_[k]; }
+
+  /// Apply one drained batch: route, group by shard, apply erases then
+  /// inserts per shard (in parallel across shards). Not thread-safe —
+  /// the service serializes flushes.
+  void apply(const MutationQueue::Drained& batch);
+
+  /// Materialize the epoch snapshot after apply(). Shards untouched
+  /// since `prev` reuse prev's per-shard snapshots; `capture_edges`
+  /// additionally copies the full alive edge set into the snapshot for
+  /// reference verification. Clears the dirty flags.
+  std::shared_ptr<const EngineSnapshot> build_snapshot(
+      uint64_t epoch, const EngineSnapshot* prev, bool capture_edges);
+
+ private:
+  struct Loc {
+    enum Kind : uint8_t { kDead = 0, kShard, kCross };
+    Kind kind = kDead;
+    int32_t shard = -1;
+    uint32_t id = 0;  // graph handle or cross-table slot
+  };
+
+  Loc* loc(ticket_t t) {
+    return t < locs_.size() ? &locs_[t] : nullptr;
+  }
+  void record(ticket_t t, Loc l) {
+    if (locs_.size() <= t) locs_.resize(t + 1);
+    locs_[t] = l;
+  }
+
+  ShardMap map_;
+  std::vector<std::unique_ptr<DynamicClustering>> shards_;
+  std::vector<char> dirty_;
+  // Cross-shard edge table (mutable side; CrossEdgeView is the frozen one).
+  struct CrossSlot {
+    vertex_id u, v;
+    double w;
+    bool alive = false;
+  };
+  std::vector<CrossSlot> cross_;
+  std::vector<uint32_t> cross_free_;
+  size_t cross_alive_ = 0;
+  bool cross_dirty_ = false;
+  std::shared_ptr<const CrossEdgeView> cross_view_;
+  std::vector<Loc> locs_;  // by ticket
+  std::shared_ptr<EngineStats> stats_;
+};
+
+}  // namespace dynsld::engine

@@ -1,0 +1,107 @@
+#include "engine/sld_service.hpp"
+
+#include <cassert>
+
+namespace dynsld::engine {
+
+SldService::SldService(const ServiceConfig& cfg)
+    : cfg_(cfg),
+      stats_(std::make_shared<EngineStats>()),
+      queue_(stats_.get()),
+      router_(cfg.num_vertices, cfg.num_shards, cfg.index, stats_) {
+  // Epoch 0: the empty snapshot, so readers never see a null view.
+  epochs_.publish(router_.build_snapshot(0, nullptr, cfg_.capture_edges));
+}
+
+SldService::~SldService() { stop_writer(); }
+
+void SldService::nudge_writer() {
+  if (queue_.pending() < cfg_.flush_threshold) return;
+  // Briefly take wake_mu_ so the notify cannot slip between the writer's
+  // predicate check and its sleep (lost-wakeup race); otherwise a
+  // threshold crossing could wait out a full flush_interval.
+  { std::lock_guard<std::mutex> lk(wake_mu_); }
+  wake_.notify_one();
+}
+
+ticket_t SldService::insert(vertex_id u, vertex_id v, double w) {
+  assert(u < cfg_.num_vertices && v < cfg_.num_vertices && u != v);
+  ticket_t t = queue_.enqueue_insert(u, v, w);
+  nudge_writer();
+  return t;
+}
+
+void SldService::erase(ticket_t t) {
+  queue_.enqueue_erase(t);
+  nudge_writer();
+}
+
+uint64_t SldService::flush() {
+  std::lock_guard<std::mutex> lk(flush_mu_);
+  MutationQueue::Drained batch = queue_.drain();
+  if (batch.empty()) return epochs_.cur_epoch();
+  stats_->flushes.fetch_add(1, std::memory_order_relaxed);
+  stats_->ops_applied.fetch_add(batch.size(), std::memory_order_relaxed);
+  stats_->bump_max_batch(batch.size());
+  router_.apply(batch);
+  EpochManager::Snap prev = epochs_.acquire();  // keep alive through build
+  uint64_t e = next_epoch_++;
+  epochs_.publish(router_.build_snapshot(e, prev.get(), cfg_.capture_edges));
+  return e;
+}
+
+void SldService::start_writer() {
+  std::lock_guard<std::mutex> lk(wake_mu_);
+  if (writer_running_) return;
+  stop_ = false;
+  writer_running_ = true;
+  writer_ = std::thread([this] { writer_loop(); });
+}
+
+void SldService::stop_writer() {
+  {
+    std::lock_guard<std::mutex> lk(wake_mu_);
+    if (!writer_running_) return;
+    stop_ = true;
+  }
+  wake_.notify_one();
+  writer_.join();
+  {
+    std::lock_guard<std::mutex> lk(wake_mu_);
+    writer_running_ = false;
+  }
+  flush();  // drain anything enqueued during shutdown
+}
+
+void SldService::writer_loop() {
+  std::unique_lock<std::mutex> lk(wake_mu_);
+  while (!stop_) {
+    wake_.wait_for(lk, cfg_.flush_interval, [this] {
+      return stop_ || queue_.pending() >= cfg_.flush_threshold;
+    });
+    if (stop_) break;
+    if (queue_.pending() == 0) continue;
+    lk.unlock();
+    flush();
+    lk.lock();
+  }
+}
+
+bool SldService::same_cluster(vertex_id s, vertex_id t, double tau) const {
+  return snapshot()->same_cluster(s, t, tau);
+}
+
+uint64_t SldService::cluster_size(vertex_id u, double tau) const {
+  return snapshot()->cluster_size(u, tau);
+}
+
+std::vector<vertex_id> SldService::cluster_report(vertex_id u,
+                                                  double tau) const {
+  return snapshot()->cluster_report(u, tau);
+}
+
+std::vector<vertex_id> SldService::flat_clustering(double tau) const {
+  return snapshot()->flat_clustering(tau);
+}
+
+}  // namespace dynsld::engine

@@ -1,0 +1,116 @@
+// SldService: the concurrent serving layer over the paper's dynamic
+// SLD machinery — the piece that lets queries stream in *while* the
+// dendrogram is being updated.
+//
+//   writer side                          reader side
+//   -----------                          -----------
+//   insert()/erase() -> MutationQueue    snapshot() -> EngineSnapshot
+//        | drain (coalesced)                  ^  (epoch-consistent,
+//        v                                    |   lock-free queries)
+//   ShardRouter::apply  ------ publish ----> EpochManager
+//   (per-shard batches, Thm 1.1/1.2/1.5)
+//
+// Mutations are cheap enqueues returning a ticket; a flush (caller-
+// driven via flush(), or the background writer thread) drains the
+// queue, applies the coalesced batch through the sharded backend with
+// the per-theorem batch algorithms, freezes the changed shards into a
+// new immutable snapshot, and publishes it as the next epoch. Readers
+// never block writers and vice versa: a reader holds a shared_ptr to
+// its epoch for as long as it likes.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "engine/epoch.hpp"
+#include "engine/mutation_queue.hpp"
+#include "engine/shard_router.hpp"
+#include "engine/stats.hpp"
+
+namespace dynsld::engine {
+
+struct ServiceConfig {
+  vertex_id num_vertices = 0;
+  int num_shards = 1;
+  SpineIndex index = SpineIndex::kLct;
+  /// Background writer flushes when this many ops are pending...
+  size_t flush_threshold = 256;
+  /// ...or this much time passed since the last flush, whichever first.
+  std::chrono::microseconds flush_interval{200};
+  /// Epoch snapshots carry their full edge set (verification mode).
+  bool capture_edges = false;
+};
+
+class SldService {
+ public:
+  explicit SldService(const ServiceConfig& cfg);
+  ~SldService();
+
+  SldService(const SldService&) = delete;
+  SldService& operator=(const SldService&) = delete;
+
+  // ---- update front-end (thread-safe) ----
+
+  /// Enqueue an edge insertion; returns its ticket immediately. The
+  /// edge becomes visible to readers at the next published epoch.
+  ticket_t insert(vertex_id u, vertex_id v, double w);
+
+  /// Enqueue an erase by ticket. Erasing a not-yet-flushed insertion
+  /// annihilates in the queue and never reaches the shards.
+  void erase(ticket_t t);
+
+  /// Synchronously drain + apply + publish. Returns the epoch readers
+  /// now see (unchanged when nothing was pending). Safe to call
+  /// concurrently with the background writer and with readers.
+  uint64_t flush();
+
+  /// Start/stop the background writer thread (idempotent).
+  void start_writer();
+  void stop_writer();
+
+  // ---- query front-end (thread-safe, wait-free vs the writer) ----
+
+  /// The current epoch snapshot. All queries on it are mutually
+  /// consistent; hold it across several calls for a transaction-like
+  /// read view.
+  EpochManager::Snap snapshot() const { return epochs_.acquire(); }
+
+  /// Convenience single-shot queries against the current epoch.
+  bool same_cluster(vertex_id s, vertex_id t, double tau) const;
+  uint64_t cluster_size(vertex_id u, double tau) const;
+  std::vector<vertex_id> cluster_report(vertex_id u, double tau) const;
+  std::vector<vertex_id> flat_clustering(double tau) const;
+
+  // ---- introspection ----
+
+  uint64_t epoch() const { return epochs_.cur_epoch(); }
+  size_t pending_updates() const { return queue_.pending(); }
+  vertex_id num_vertices() const { return cfg_.num_vertices; }
+  int num_shards() const { return router_.num_shards(); }
+  const ServiceConfig& config() const { return cfg_; }
+  EngineStats::Report stats() const { return stats_->report(); }
+
+ private:
+  void writer_loop();
+  void nudge_writer();
+
+  ServiceConfig cfg_;
+  std::shared_ptr<EngineStats> stats_;
+  MutationQueue queue_;
+  ShardRouter router_;  // guarded by flush_mu_
+  EpochManager epochs_;
+  uint64_t next_epoch_ = 1;  // guarded by flush_mu_
+  std::mutex flush_mu_;
+
+  std::thread writer_;
+  std::mutex wake_mu_;
+  std::condition_variable wake_;
+  bool writer_running_ = false;
+  bool stop_ = false;  // guarded by wake_mu_
+};
+
+}  // namespace dynsld::engine

@@ -1,0 +1,161 @@
+#include "engine/snapshot.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace dynsld::engine {
+
+std::shared_ptr<const DendrogramSnapshot> DendrogramSnapshot::build(
+    const DynSLD& sld) {
+  auto snap = std::shared_ptr<DendrogramSnapshot>(new DendrogramSnapshot());
+  DendrogramSnapshot& s = *snap;
+  const Dendrogram& d = sld.dendrogram();
+  s.n_ = sld.num_vertices();
+
+  // Collect alive nodes and renumber in ascending rank order.
+  std::vector<edge_id> ids;
+  ids.reserve(d.size());
+  for (edge_id e = 0; e < d.capacity(); ++e) {
+    if (d.alive(e)) ids.push_back(e);
+  }
+  std::sort(ids.begin(), ids.end(),
+            [&](edge_id a, edge_id b) { return d.rank(a) < d.rank(b); });
+  size_t m = ids.size();
+  std::vector<int32_t> slot_of(d.capacity(), kNoSlot);
+  for (size_t i = 0; i < m; ++i) slot_of[ids[i]] = static_cast<int32_t>(i);
+
+  s.u_.resize(m);
+  s.v_.resize(m);
+  s.weight_.resize(m);
+  s.parent_.resize(m);
+  for (size_t i = 0; i < m; ++i) {
+    const Dendrogram::Node& nd = d.node(ids[i]);
+    s.u_[i] = nd.u;
+    s.v_[i] = nd.v;
+    s.weight_[i] = nd.weight;
+    s.parent_[i] = nd.parent == kNoEdge ? kNoSlot : slot_of[nd.parent];
+    assert(s.parent_[i] == kNoSlot || s.parent_[i] > static_cast<int32_t>(i));
+  }
+
+  // Child CSR from the parent array (counting sort by parent).
+  s.child_off_.assign(m + 1, 0);
+  for (size_t i = 0; i < m; ++i) {
+    if (s.parent_[i] != kNoSlot) ++s.child_off_[s.parent_[i] + 1];
+  }
+  std::partial_sum(s.child_off_.begin(), s.child_off_.end(),
+                   s.child_off_.begin());
+  s.child_list_.resize(m ? s.child_off_[m] : 0);
+  {
+    std::vector<uint32_t> cursor(s.child_off_.begin(), s.child_off_.end() - 1);
+    for (size_t i = 0; i < m; ++i) {
+      if (s.parent_[i] != kNoSlot)
+        s.child_list_[cursor[s.parent_[i]]++] = static_cast<uint32_t>(i);
+    }
+  }
+
+  // Leaf lists: vertex v hangs off the node of e*_v.
+  std::vector<edge_id> estar = sld.min_incident_all();
+  s.leaf_parent_.resize(s.n_);
+  s.leaf_off_.assign(m + 1, 0);
+  for (vertex_id v = 0; v < s.n_; ++v) {
+    s.leaf_parent_[v] = estar[v] == kNoEdge ? kNoSlot : slot_of[estar[v]];
+    if (s.leaf_parent_[v] != kNoSlot) ++s.leaf_off_[s.leaf_parent_[v] + 1];
+  }
+  std::partial_sum(s.leaf_off_.begin(), s.leaf_off_.end(), s.leaf_off_.begin());
+  s.leaf_list_.resize(m ? s.leaf_off_[m] : 0);
+  {
+    std::vector<uint32_t> cursor(s.leaf_off_.begin(), s.leaf_off_.end() - 1);
+    for (vertex_id v = 0; v < s.n_; ++v) {
+      if (s.leaf_parent_[v] != kNoSlot) s.leaf_list_[cursor[s.leaf_parent_[v]]++] = v;
+    }
+  }
+
+  // Subtree vertex counts: one ascending pass (parent slot > child slot).
+  s.count_.resize(m);
+  for (size_t i = 0; i < m; ++i)
+    s.count_[i] = s.leaf_off_[i + 1] - s.leaf_off_[i];
+  for (size_t i = 0; i < m; ++i) {
+    if (s.parent_[i] != kNoSlot) s.count_[s.parent_[i]] += s.count_[i];
+  }
+
+  // Binary lifting over parent pointers.
+  s.levels_ = 1;
+  while ((size_t{1} << s.levels_) < m + 1) ++s.levels_;
+  s.up_.assign(static_cast<size_t>(s.levels_) * m, kNoSlot);
+  if (m) {
+    std::copy(s.parent_.begin(), s.parent_.end(), s.up_.begin());
+    for (int k = 1; k < s.levels_; ++k) {
+      for (size_t i = 0; i < m; ++i) {
+        int32_t half = s.up_[(k - 1) * m + i];
+        s.up_[k * m + i] = half == kNoSlot ? kNoSlot : s.up_[(k - 1) * m + half];
+      }
+    }
+  }
+  return snap;
+}
+
+int32_t DendrogramSnapshot::top_of(vertex_id v, double tau) const {
+  int32_t x = leaf_parent_[v];
+  if (x == kNoSlot || weight_[x] > tau) return kNoSlot;
+  for (int k = levels_ - 1; k >= 0; --k) {
+    int32_t a = up(k, x);
+    if (a != kNoSlot && weight_[a] <= tau) x = a;
+  }
+  return x;
+}
+
+bool DendrogramSnapshot::same_cluster(vertex_id s, vertex_id t,
+                                      double tau) const {
+  if (s == t) return true;
+  int32_t a = top_of(s, tau);
+  return a != kNoSlot && a == top_of(t, tau);
+}
+
+uint64_t DendrogramSnapshot::cluster_size(vertex_id u, double tau) const {
+  int32_t top = top_of(u, tau);
+  return top == kNoSlot ? 1 : count_[top];
+}
+
+void DendrogramSnapshot::members_of(int32_t top,
+                                    std::vector<vertex_id>& out) const {
+  std::vector<int32_t> stack{top};
+  while (!stack.empty()) {
+    int32_t x = stack.back();
+    stack.pop_back();
+    for (uint32_t i = leaf_off_[x]; i < leaf_off_[x + 1]; ++i)
+      out.push_back(leaf_list_[i]);
+    for (uint32_t i = child_off_[x]; i < child_off_[x + 1]; ++i)
+      stack.push_back(static_cast<int32_t>(child_list_[i]));
+  }
+}
+
+std::vector<vertex_id> DendrogramSnapshot::cluster_report(vertex_id u,
+                                                          double tau) const {
+  int32_t top = top_of(u, tau);
+  if (top == kNoSlot) return {u};
+  std::vector<vertex_id> out;
+  out.reserve(count_[top]);
+  members_of(top, out);
+  return out;
+}
+
+std::vector<vertex_id> DendrogramSnapshot::flat_clustering(double tau) const {
+  // All members of a cluster share the same top node, so the top's u
+  // endpoint (itself a member) is a consistent label.
+  std::vector<vertex_id> label(n_);
+  for (vertex_id v = 0; v < n_; ++v) {
+    int32_t top = top_of(v, tau);
+    label[v] = top == kNoSlot ? v : u_[top];
+  }
+  return label;
+}
+
+void DendrogramSnapshot::threshold_union(UnionFind& uf, double tau) const {
+  for (size_t i = 0; i < weight_.size(); ++i) {
+    if (weight_[i] > tau) break;  // rank-sorted
+    uf.unite(u_[i], v_[i]);
+  }
+}
+
+}  // namespace dynsld::engine

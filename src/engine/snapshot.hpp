@@ -1,0 +1,94 @@
+// Immutable epoch snapshot of one shard's dendrogram.
+//
+// DynSLD answers its §6.1 queries through dynamic trees that splay on
+// every access, so a live structure cannot serve concurrent readers.
+// Instead the engine freezes the dendrogram between batch flushes into
+// a compact, read-only materialization:
+//
+//   - nodes densely renumbered in ascending rank order, so a node's
+//     parent always has a larger slot and a single ascending pass
+//     computes subtree vertex counts bottom-up;
+//   - CSR child lists (internal children) and leaf lists (vertices
+//     whose minimum incident edge e*_v is the node) for cluster report;
+//   - a binary-lifting table over parent pointers: because weights
+//     increase towards the root, the top cluster node of v at
+//     threshold tau ("highest ancestor of e*_v with weight <= tau")
+//     descends the table in O(log h).
+//
+// Build is O(n + m log m) from const DynSLD accessors only; every query
+// method is const and safe from any number of threads. Readers hold the
+// snapshot via shared_ptr, which doubles as the epoch reclamation
+// scheme: a superseded snapshot is freed when its last reader drops it.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "dendrogram/static_sld.hpp"
+#include "dynsld/dyn_sld.hpp"
+#include "graph/types.hpp"
+
+namespace dynsld::engine {
+
+class DendrogramSnapshot {
+ public:
+  static constexpr int32_t kNoSlot = -1;
+
+  /// Freeze the current dendrogram of `sld`. Uses only const accessors;
+  /// the caller guarantees no concurrent mutation during the build
+  /// (the engine builds under its writer lock).
+  static std::shared_ptr<const DendrogramSnapshot> build(const DynSLD& sld);
+
+  vertex_id num_vertices() const { return n_; }
+  size_t num_nodes() const { return weight_.size(); }
+
+  /// Dense slot of the top cluster node of v at threshold tau, or
+  /// kNoSlot when v is a singleton at tau. O(log h).
+  int32_t top_of(vertex_id v, double tau) const;
+
+  /// §6.1 threshold query. O(log h).
+  bool same_cluster(vertex_id s, vertex_id t, double tau) const;
+
+  /// Vertex count of v's cluster at tau. O(log h).
+  uint64_t cluster_size(vertex_id u, double tau) const;
+
+  /// Append the members of slot `top`'s cluster to `out`. O(|cluster|).
+  void members_of(int32_t top, std::vector<vertex_id>& out) const;
+
+  /// §6.1 cluster report. O(log h + |cluster|).
+  std::vector<vertex_id> cluster_report(vertex_id u, double tau) const;
+
+  /// §6.1 flat clustering; labels are member vertices of the cluster.
+  /// O(n log h).
+  std::vector<vertex_id> flat_clustering(double tau) const;
+
+  /// Unite every tree edge of weight <= tau into the caller's
+  /// union-find (cross-shard merged queries). Nodes are rank-sorted, so
+  /// this scans a prefix and stops. O(|{e : w_e <= tau}|).
+  void threshold_union(UnionFind& uf, double tau) const;
+
+  /// Endpoints/weight of a dense slot (merged-query plumbing).
+  vertex_id slot_u(int32_t s) const { return u_[s]; }
+  vertex_id slot_v(int32_t s) const { return v_[s]; }
+  double slot_weight(int32_t s) const { return weight_[s]; }
+
+ private:
+  DendrogramSnapshot() = default;
+
+  vertex_id n_ = 0;
+  // Per dense slot, ascending rank order.
+  std::vector<vertex_id> u_, v_;
+  std::vector<double> weight_;
+  std::vector<int32_t> parent_;
+  std::vector<uint64_t> count_;  // vertices in the slot's cluster
+  std::vector<int32_t> leaf_parent_;  // per vertex: slot of e*_v or kNoSlot
+  std::vector<uint32_t> child_off_, child_list_;
+  std::vector<uint32_t> leaf_off_, leaf_list_;
+  int levels_ = 0;
+  std::vector<int32_t> up_;  // levels_ x num_nodes, level-major
+
+  int32_t up(int k, int32_t s) const { return up_[k * weight_.size() + s]; }
+};
+
+}  // namespace dynsld::engine

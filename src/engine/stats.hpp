@@ -1,0 +1,92 @@
+// Engine observability: lock-free counters covering both front-ends
+// (update coalescing, batch flushes, epoch publication, query traffic).
+// Writers bump them with relaxed atomics on the hot paths; report()
+// takes a consistent-enough plain copy for printing. Counters are
+// cumulative over the service's lifetime.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+
+namespace dynsld::engine {
+
+struct EngineStats {
+  // -- update front-end --
+  std::atomic<uint64_t> inserts_enqueued{0};
+  std::atomic<uint64_t> erases_enqueued{0};
+  std::atomic<uint64_t> coalesced_pairs{0};      // insert+erase annihilated
+  std::atomic<uint64_t> duplicate_erases{0};     // dropped in the queue
+  std::atomic<uint64_t> invalid_erases{0};       // unknown/dead ticket at apply
+  // -- flush path --
+  std::atomic<uint64_t> flushes{0};              // non-empty batch applications
+  std::atomic<uint64_t> ops_applied{0};
+  std::atomic<uint64_t> max_batch{0};
+  std::atomic<uint64_t> shard_batches{0};        // per-shard sub-batches applied
+  std::atomic<uint64_t> cross_ops{0};            // ops landing in the cross table
+  // -- epochs --
+  std::atomic<uint64_t> epochs_published{0};
+  std::atomic<uint64_t> snapshot_build_ns{0};
+  std::atomic<uint64_t> shard_snapshots_built{0};
+  std::atomic<uint64_t> shard_snapshots_reused{0};
+  // -- query front-end --
+  std::atomic<uint64_t> q_same_cluster{0};
+  std::atomic<uint64_t> q_cluster_size{0};
+  std::atomic<uint64_t> q_cluster_report{0};
+  std::atomic<uint64_t> q_flat_clustering{0};
+
+  struct Report {
+    uint64_t inserts_enqueued, erases_enqueued, coalesced_pairs,
+        duplicate_erases, invalid_erases, flushes, ops_applied, max_batch,
+        shard_batches, cross_ops, epochs_published, snapshot_build_ns,
+        shard_snapshots_built, shard_snapshots_reused, q_same_cluster,
+        q_cluster_size, q_cluster_report, q_flat_clustering;
+
+    uint64_t queries() const {
+      return q_same_cluster + q_cluster_size + q_cluster_report +
+             q_flat_clustering;
+    }
+    double avg_batch() const {
+      return flushes ? static_cast<double>(ops_applied) / flushes : 0.0;
+    }
+  };
+
+  Report report() const {
+    auto r = [](const std::atomic<uint64_t>& a) {
+      return a.load(std::memory_order_relaxed);
+    };
+    return Report{r(inserts_enqueued), r(erases_enqueued), r(coalesced_pairs),
+                  r(duplicate_erases), r(invalid_erases), r(flushes),
+                  r(ops_applied), r(max_batch), r(shard_batches), r(cross_ops),
+                  r(epochs_published), r(snapshot_build_ns),
+                  r(shard_snapshots_built), r(shard_snapshots_reused),
+                  r(q_same_cluster), r(q_cluster_size), r(q_cluster_report),
+                  r(q_flat_clustering)};
+  }
+
+  void bump_max_batch(uint64_t sz) {
+    uint64_t cur = max_batch.load(std::memory_order_relaxed);
+    while (sz > cur &&
+           !max_batch.compare_exchange_weak(cur, sz, std::memory_order_relaxed)) {
+    }
+  }
+};
+
+inline void print_report(const EngineStats::Report& r, std::FILE* out = stdout) {
+  std::fprintf(out,
+               "engine stats: enq %llu+/%llu-  coalesced %llu  flushes %llu "
+               "(avg batch %.1f, max %llu)  epochs %llu  snapshots %llu built "
+               "/ %llu reused (%.2f ms total)  queries %llu  cross ops %llu\n",
+               (unsigned long long)r.inserts_enqueued,
+               (unsigned long long)r.erases_enqueued,
+               (unsigned long long)r.coalesced_pairs,
+               (unsigned long long)r.flushes, r.avg_batch(),
+               (unsigned long long)r.max_batch,
+               (unsigned long long)r.epochs_published,
+               (unsigned long long)r.shard_snapshots_built,
+               (unsigned long long)r.shard_snapshots_reused,
+               r.snapshot_build_ns / 1e6, (unsigned long long)r.queries(),
+               (unsigned long long)r.cross_ops);
+}
+
+}  // namespace dynsld::engine

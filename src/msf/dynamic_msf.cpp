@@ -1,6 +1,9 @@
 #include "msf/dynamic_msf.hpp"
 
 #include <cassert>
+#include <unordered_map>
+
+#include "dendrogram/static_sld.hpp"
 
 namespace dynsld {
 
@@ -17,16 +20,26 @@ void DynamicClustering::remove_nontree(graph_edge g) {
   nontree_[edges_[g].v].erase(grank(g));
 }
 
-void DynamicClustering::make_tree(graph_edge g) {
-  GraphEdge& e = edges_[g];
-  e.sld_id = sld_.insert(e.u, e.v, e.w);
-  if (sld_to_graph_.size() <= e.sld_id) sld_to_graph_.resize(e.sld_id + 1);
-  sld_to_graph_[e.sld_id] = g;
+void DynamicClustering::bind_tree(graph_edge g, edge_id sld_id) {
+  edges_[g].sld_id = sld_id;
+  if (sld_to_graph_.size() <= sld_id) sld_to_graph_.resize(sld_id + 1);
+  sld_to_graph_[sld_id] = g;
 }
 
-DynamicClustering::graph_edge DynamicClustering::insert_edge(vertex_id u,
-                                                             vertex_id v,
-                                                             double w) {
+void DynamicClustering::make_tree(graph_edge g) {
+  GraphEdge& e = edges_[g];
+  // Per-theorem dispatch for the single-edge path: the output-sensitive
+  // insertion (Thm 1.2) needs a spine index; fall back to the walk
+  // (Thm 1.1) without one. Both yield the identical dendrogram.
+  edge_id id = sld_.spine_index_kind() != SpineIndex::kPointer
+                   ? sld_.insert_output_sensitive(e.u, e.v, e.w)
+                   : sld_.insert(e.u, e.v, e.w);
+  bind_tree(g, id);
+}
+
+DynamicClustering::graph_edge DynamicClustering::alloc_handle(vertex_id u,
+                                                              vertex_id v,
+                                                              double w) {
   assert(u < n_ && v < n_ && u != v);
   graph_edge g;
   if (!free_ids_.empty()) {
@@ -38,14 +51,24 @@ DynamicClustering::graph_edge DynamicClustering::insert_edge(vertex_id u,
   }
   edges_[g] = GraphEdge{u, v, w, kNoEdge, true};
   ++num_alive_;
+  return g;
+}
 
-  if (!sld_.connected(u, v)) {
+void DynamicClustering::release_handle(graph_edge g) {
+  edges_[g] = GraphEdge{};
+  --num_alive_;
+  free_ids_.push_back(g);
+}
+
+void DynamicClustering::route_insert(graph_edge g) {
+  const GraphEdge& e = edges_[g];
+  if (!sld_.connected(e.u, e.v)) {
     make_tree(g);
-    return g;
+    return;
   }
   // Cycle: compare against the heaviest tree edge on the u..v path,
   // under the (weight, graph id) total order.
-  WeightedEdge heavy = sld_.max_edge_on_path(u, v);
+  WeightedEdge heavy = sld_.max_edge_on_path(e.u, e.v);
   graph_edge hg = sld_to_graph_[heavy.id];
   if (grank(g) < grank(hg)) {
     sld_.erase(heavy.id);
@@ -55,7 +78,93 @@ DynamicClustering::graph_edge DynamicClustering::insert_edge(vertex_id u,
   } else {
     add_nontree(g);
   }
+}
+
+DynamicClustering::graph_edge DynamicClustering::insert_edge(vertex_id u,
+                                                             vertex_id v,
+                                                             double w) {
+  graph_edge g = alloc_handle(u, v, w);
+  route_insert(g);
   return g;
+}
+
+std::vector<DynamicClustering::graph_edge> DynamicClustering::insert_edges(
+    std::span<const EdgeUpdate> batch) {
+  std::vector<graph_edge> out;
+  out.reserve(batch.size());
+  if (batch.size() == 1) {
+    out.push_back(insert_edge(batch[0].u, batch[0].v, batch[0].w));
+    return out;
+  }
+  for (const EdgeUpdate& e : batch) out.push_back(alloc_handle(e.u, e.v, e.w));
+
+  // Classify by component: a local union-find keyed on the ephemeral
+  // component representatives of the endpoints. Edges joining two
+  // distinct components (considering earlier accepted batch edges) are
+  // guaranteed MSF edges and form an acyclic batch for Thm 1.5; the
+  // rest close cycles and take the sequential swap path afterwards.
+  std::unordered_map<int, vertex_id> comp;  // lct root -> dsu slot
+  UnionFind dsu(2 * batch.size());
+  vertex_id next_slot = 0;
+  auto slot_of = [&](vertex_id x) {
+    auto [it, fresh] = comp.try_emplace(sld_.component_id(x), next_slot);
+    if (fresh) ++next_slot;
+    return it->second;
+  };
+  std::vector<DynSLD::EdgeInsert> tree;
+  std::vector<size_t> tree_pos;
+  std::vector<graph_edge> fallback;
+  for (size_t i = 0; i < batch.size(); ++i) {
+    vertex_id cu = dsu.find(slot_of(batch[i].u));
+    vertex_id cv = dsu.find(slot_of(batch[i].v));
+    if (cu != cv) {
+      dsu.unite(cu, cv);
+      tree.push_back({batch[i].u, batch[i].v, batch[i].w});
+      tree_pos.push_back(i);
+    } else {
+      fallback.push_back(out[i]);
+    }
+  }
+  if (!tree.empty()) {
+    std::vector<edge_id> ids = sld_.insert_batch(tree);
+    for (size_t j = 0; j < ids.size(); ++j) bind_tree(out[tree_pos[j]], ids[j]);
+  }
+  for (graph_edge g : fallback) route_insert(g);
+  return out;
+}
+
+void DynamicClustering::erase_edges(std::span<const graph_edge> batch) {
+  if (batch.size() == 1) {
+    erase_edge(batch[0]);
+    return;
+  }
+  size_t nontree_alive = num_alive_ - sld_.num_edges();
+  std::vector<edge_id> tree_ids;
+  std::vector<graph_edge> tree_g;
+  size_t nontree_erased = 0;
+  for (graph_edge g : batch) {
+    assert(edge_alive(g));
+    if (edges_[g].sld_id == kNoEdge) {
+      remove_nontree(g);
+      release_handle(g);
+      ++nontree_erased;
+    } else {
+      tree_ids.push_back(edges_[g].sld_id);
+      tree_g.push_back(g);
+    }
+  }
+  if (tree_g.empty()) return;
+  if (nontree_alive == nontree_erased) {
+    // Pure forest after the non-tree removals: no replacement edge can
+    // exist, so all cuts go through one batch deletion (Thm 1.5).
+    sld_.erase_batch(tree_ids);
+    for (graph_edge g : tree_g) release_handle(g);
+    return;
+  }
+  // Replacement edges may cross several of the batch's cuts; process
+  // tree deletions one at a time so each replacement search sees the
+  // true connectivity (the classical Holm et al. discipline).
+  for (graph_edge g : tree_g) erase_edge(g);
 }
 
 void DynamicClustering::find_replacement(vertex_id u, vertex_id v) {
@@ -115,10 +224,18 @@ void DynamicClustering::erase_edge(graph_edge g) {
   } else {
     sld_.erase(e.sld_id);
   }
-  edges_[g] = GraphEdge{};
-  --num_alive_;
-  free_ids_.push_back(g);
+  release_handle(g);
   if (e.sld_id != kNoEdge) find_replacement(e.u, e.v);
+}
+
+std::vector<WeightedEdge> DynamicClustering::all_edges() const {
+  std::vector<WeightedEdge> out;
+  out.reserve(num_alive_);
+  for (graph_edge g = 0; g < edges_.size(); ++g) {
+    const GraphEdge& e = edges_[g];
+    if (e.alive) out.push_back(WeightedEdge{e.u, e.v, e.w, g});
+  }
+  return out;
 }
 
 std::vector<WeightedEdge> DynamicClustering::forest_edges() const {

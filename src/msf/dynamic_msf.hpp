@@ -20,6 +20,7 @@
 #pragma once
 
 #include <set>
+#include <span>
 #include <vector>
 
 #include "dynsld/dyn_sld.hpp"
@@ -42,6 +43,29 @@ class DynamicClustering {
 
   /// Delete a graph edge by handle.
   void erase_edge(graph_edge g);
+
+  // ---- batch front-end (engine flush path) ----
+
+  struct EdgeUpdate {
+    vertex_id u;
+    vertex_id v;
+    double w;
+  };
+
+  /// Batch insertion, dispatching per the paper's theorems by batch
+  /// shape: a singleton goes through the single-update path (which uses
+  /// the output-sensitive Thm 1.2 insertion when a spine index is
+  /// present, the Thm 1.1 walk otherwise); a larger batch is classified
+  /// by component so the acyclic subset runs through
+  /// DynSLD::insert_batch (Thm 1.5) and only cycle-closing edges take
+  /// the sequential swap path. Returns handles aligned with `batch`.
+  std::vector<graph_edge> insert_edges(std::span<const EdgeUpdate> batch);
+
+  /// Batch deletion: non-tree deletions are local; tree deletions go
+  /// through DynSLD::erase_batch (Thm 1.5) when no non-tree edge
+  /// survives (pure forest: no replacement can exist), and otherwise
+  /// one at a time with a replacement search per cut.
+  void erase_edges(std::span<const graph_edge> batch);
 
   bool edge_alive(graph_edge g) const {
     return g < edges_.size() && edges_[g].alive;
@@ -69,6 +93,14 @@ class DynamicClustering {
   /// cluster_size, cluster_report, flat_clustering).
   DynSLD& sld() { return sld_; }
 
+  /// Const view of the maintained DynSLD (engine snapshot export).
+  const DynSLD& sld() const { return sld_; }
+
+  /// Every alive graph edge — tree and non-tree — with id = handle.
+  /// Used by the engine to capture an epoch's exact edge set for
+  /// verification against the static Kruskal reference.
+  std::vector<WeightedEdge> all_edges() const;
+
  private:
   struct GraphEdge {
     vertex_id u = kNoVertex;
@@ -82,6 +114,14 @@ class DynamicClustering {
   void add_nontree(graph_edge g);
   void remove_nontree(graph_edge g);
   void make_tree(graph_edge g);
+  /// Allocate a handle for (u, v, w) without routing it anywhere yet.
+  graph_edge alloc_handle(vertex_id u, vertex_id v, double w);
+  /// Route a freshly allocated edge: tree insert, swap, or non-tree.
+  void route_insert(graph_edge g);
+  /// Record that graph edge g is backed by forest edge `sld_id`.
+  void bind_tree(graph_edge g, edge_id sld_id);
+  /// Free a handle whose forest/non-tree residue is already gone.
+  void release_handle(graph_edge g);
   /// Find and reinstate the minimum replacement edge across the cut
   /// separating u's and v's components (after a tree-edge removal).
   void find_replacement(vertex_id u, vertex_id v);

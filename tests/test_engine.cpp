@@ -1,0 +1,400 @@
+// Engine tests: epoch snapshots, update coalescing, sharded routing,
+// and the concurrent-reader stress test. The ground truth throughout is
+// the static Kruskal construction (build_kruskal) over an epoch's
+// captured edge set: single-linkage clusters at threshold tau are the
+// connected components of the sub-tau edges, so partitions derived from
+// the reference dendrogram must match every engine answer exactly.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "dendrogram/static_sld.hpp"
+#include "engine/mutation_queue.hpp"
+#include "engine/replay.hpp"
+#include "engine/sld_service.hpp"
+#include "engine/snapshot.hpp"
+#include "msf/dynamic_msf.hpp"
+#include "parallel/random.hpp"
+
+namespace dynsld::engine {
+namespace {
+
+/// Reference partition at threshold tau from the Kruskal-built SLD of
+/// `edges`: label[v] = component representative. The captured edge set
+/// is a graph (it includes cycle-closing edges), while build_kruskal
+/// takes a forest, so first reduce to the MSF under (weight, id) order
+/// — dropping a cycle edge never changes threshold components, because
+/// its endpoints are already connected by edges of smaller rank.
+std::vector<vertex_id> reference_labels(vertex_id n,
+                                        const std::vector<WeightedEdge>& edges,
+                                        double tau) {
+  std::vector<WeightedEdge> sorted(edges);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const WeightedEdge& a, const WeightedEdge& b) {
+              return a.rank() < b.rank();
+            });
+  std::vector<WeightedEdge> forest;
+  {
+    UnionFind uf(n);
+    for (const WeightedEdge& e : sorted) {
+      if (uf.find(e.u) != uf.find(e.v)) {
+        uf.unite(e.u, e.v);
+        forest.push_back(e);
+      }
+    }
+  }
+  Dendrogram ref = build_kruskal(n, forest);
+  UnionFind uf(n);
+  for (edge_id e = 0; e < ref.capacity(); ++e) {
+    if (!ref.alive(e)) continue;
+    const auto& nd = ref.node(e);
+    if (nd.weight <= tau) uf.unite(nd.u, nd.v);
+  }
+  std::vector<vertex_id> label(n);
+  for (vertex_id v = 0; v < n; ++v) label[v] = uf.find(v);
+  return label;
+}
+
+/// Same partition? (Labels themselves may differ.)
+void expect_same_partition(const std::vector<vertex_id>& a,
+                           const std::vector<vertex_id>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  std::map<vertex_id, vertex_id> a2b, b2a;
+  for (size_t v = 0; v < a.size(); ++v) {
+    auto [ia, fresh_a] = a2b.try_emplace(a[v], b[v]);
+    EXPECT_EQ(ia->second, b[v]) << "vertex " << v;
+    auto [ib, fresh_b] = b2a.try_emplace(b[v], a[v]);
+    EXPECT_EQ(ib->second, a[v]) << "vertex " << v;
+  }
+}
+
+uint64_t ref_cluster_size(const std::vector<vertex_id>& label, vertex_id u) {
+  uint64_t k = 0;
+  for (vertex_id l : label) k += l == label[u];
+  return k;
+}
+
+TEST(DendrogramSnapshot, MatchesLiveQueriesOnRandomForest) {
+  const vertex_id n = 60;
+  par::Rng rng(7);
+  DynamicClustering dc(n);
+  std::vector<uint32_t> handles;
+  for (int i = 0; i < 150; ++i) {
+    vertex_id u = rng.next_bounded(n), v;
+    do {
+      v = rng.next_bounded(n);
+    } while (v == u);
+    handles.push_back(dc.insert_edge(u, v, rng.next_double()));
+    if (i % 5 == 0 && !handles.empty()) {
+      uint32_t h = handles[rng.next_bounded(handles.size())];
+      if (dc.edge_alive(h)) dc.erase_edge(h);
+    }
+  }
+  auto snap = DendrogramSnapshot::build(dc.sld());
+  for (double tau : {0.0, 0.05, 0.2, 0.4, 0.6, 0.85, 1.0}) {
+    auto live = dc.sld().flat_clustering(tau);
+    auto frozen = snap->flat_clustering(tau);
+    expect_same_partition(live, frozen);
+    for (vertex_id u = 0; u < n; ++u) {
+      EXPECT_EQ(snap->cluster_size(u, tau), dc.sld().cluster_size(u, tau))
+          << "u=" << u << " tau=" << tau;
+      auto rep = snap->cluster_report(u, tau);
+      EXPECT_EQ(rep.size(), snap->cluster_size(u, tau));
+    }
+    for (int q = 0; q < 200; ++q) {
+      vertex_id s = rng.next_bounded(n), t = rng.next_bounded(n);
+      EXPECT_EQ(snap->same_cluster(s, t, tau), dc.sld().same_cluster(s, t, tau));
+    }
+  }
+}
+
+TEST(MutationQueue, CoalescesInsertErasePairs) {
+  EngineStats stats;
+  MutationQueue q(&stats);
+  ticket_t a = q.enqueue_insert(0, 1, 0.5);
+  ticket_t b = q.enqueue_insert(1, 2, 0.25);
+  EXPECT_EQ(q.pending(), 2u);
+  // Erasing a pending insert annihilates in the queue.
+  EXPECT_FALSE(q.enqueue_erase(a));
+  EXPECT_EQ(q.pending(), 1u);
+  auto d = q.drain();
+  ASSERT_EQ(d.inserts.size(), 1u);
+  EXPECT_EQ(d.inserts[0].ticket, b);
+  EXPECT_TRUE(d.erases.empty());
+  EXPECT_EQ(stats.coalesced_pairs.load(), 1u);
+
+  // An applied ticket's erase is queued; a duplicate is dropped.
+  EXPECT_TRUE(q.enqueue_erase(b));
+  EXPECT_FALSE(q.enqueue_erase(b));
+  d = q.drain();
+  ASSERT_EQ(d.erases.size(), 1u);
+  EXPECT_EQ(d.erases[0], b);
+  EXPECT_EQ(stats.duplicate_erases.load(), 1u);
+}
+
+TEST(MutationQueue, PreservesInsertOrder) {
+  MutationQueue q;
+  for (int i = 0; i < 10; ++i)
+    q.enqueue_insert(static_cast<vertex_id>(i), static_cast<vertex_id>(i + 1),
+                     i * 0.1);
+  auto d = q.drain();
+  ASSERT_EQ(d.inserts.size(), 10u);
+  for (int i = 1; i < 10; ++i)
+    EXPECT_LT(d.inserts[i - 1].ticket, d.inserts[i].ticket);
+}
+
+/// Single-shard service vs the Kruskal reference across random flush
+/// points (insert/erase mix with cycles, swaps, and replacements).
+TEST(SldService, MatchesReferenceAcrossEpochs) {
+  const vertex_id n = 48;
+  ServiceConfig cfg;
+  cfg.num_vertices = n;
+  cfg.num_shards = 1;
+  cfg.capture_edges = true;
+  SldService svc(cfg);
+  par::Rng rng(2025);
+  std::vector<ticket_t> live;
+  for (int step = 0; step < 400; ++step) {
+    if (!live.empty() && rng.next_double() < 0.3) {
+      size_t j = rng.next_bounded(live.size());
+      svc.erase(live[j]);
+      live[j] = live.back();
+      live.pop_back();
+    } else {
+      vertex_id u = rng.next_bounded(n), v;
+      do {
+        v = rng.next_bounded(n);
+      } while (v == u);
+      live.push_back(svc.insert(u, v, rng.next_double()));
+    }
+    if (rng.next_double() < 0.15) {
+      svc.flush();
+      auto snap = svc.snapshot();
+      for (double tau : {0.1, 0.35, 0.7}) {
+        auto ref = reference_labels(n, snap->captured_edges(), tau);
+        expect_same_partition(ref, snap->flat_clustering(tau));
+        for (int q = 0; q < 30; ++q) {
+          vertex_id s = rng.next_bounded(n), t = rng.next_bounded(n);
+          EXPECT_EQ(snap->same_cluster(s, t, tau), ref[s] == ref[t]);
+        }
+        vertex_id u = rng.next_bounded(n);
+        EXPECT_EQ(snap->cluster_size(u, tau), ref_cluster_size(ref, u));
+      }
+    }
+  }
+}
+
+/// Sharded service (intra + cross edges) vs the same reference.
+TEST(SldService, ShardedMatchesReference) {
+  const vertex_id n = 60;
+  ServiceConfig cfg;
+  cfg.num_vertices = n;
+  cfg.num_shards = 3;
+  cfg.capture_edges = true;
+  SldService svc(cfg);
+  EXPECT_EQ(svc.num_shards(), 3);
+  par::Rng rng(99);
+  std::vector<ticket_t> live;
+  for (int step = 0; step < 500; ++step) {
+    if (!live.empty() && rng.next_double() < 0.3) {
+      size_t j = rng.next_bounded(live.size());
+      svc.erase(live[j]);
+      live[j] = live.back();
+      live.pop_back();
+    } else {
+      // 70% intra-block (block = 20 = shard stride), 30% cross.
+      vertex_id u = rng.next_bounded(n), v;
+      if (rng.next_double() < 0.7) {
+        vertex_id base = (u / 20) * 20;
+        do {
+          v = base + rng.next_bounded(20);
+        } while (v == u);
+      } else {
+        do {
+          v = rng.next_bounded(n);
+        } while (v == u);
+      }
+      live.push_back(svc.insert(u, v, rng.next_double()));
+    }
+    if (step % 40 == 39) {
+      svc.flush();
+      auto snap = svc.snapshot();
+      for (double tau : {0.15, 0.5, 0.9}) {
+        auto ref = reference_labels(n, snap->captured_edges(), tau);
+        expect_same_partition(ref, snap->flat_clustering(tau));
+        for (int q = 0; q < 40; ++q) {
+          vertex_id s = rng.next_bounded(n), t = rng.next_bounded(n);
+          EXPECT_EQ(snap->same_cluster(s, t, tau), ref[s] == ref[t])
+              << "s=" << s << " t=" << t << " tau=" << tau;
+        }
+        for (int q = 0; q < 10; ++q) {
+          vertex_id u = rng.next_bounded(n);
+          EXPECT_EQ(snap->cluster_size(u, tau), ref_cluster_size(ref, u));
+          auto rep = snap->cluster_report(u, tau);
+          EXPECT_EQ(rep.size(), ref_cluster_size(ref, u));
+        }
+      }
+    }
+  }
+  auto r = svc.stats();
+  EXPECT_GT(r.cross_ops, 0u);
+}
+
+/// An epoch reuses the per-shard snapshots of shards it did not touch.
+TEST(SldService, UntouchedShardSnapshotsAreReused) {
+  ServiceConfig cfg;
+  cfg.num_vertices = 40;  // stride 20: shard 0 = [0,20), shard 1 = [20,40)
+  cfg.num_shards = 2;
+  SldService svc(cfg);
+  svc.insert(1, 2, 0.3);
+  svc.flush();
+  auto before = svc.snapshot();
+  svc.insert(21, 22, 0.4);  // touches only shard 1
+  svc.flush();
+  auto after = svc.snapshot();
+  EXPECT_EQ(&before->shard(0), &after->shard(0));  // pointer-identical reuse
+  EXPECT_NE(&before->shard(1), &after->shard(1));
+  EXPECT_GT(svc.stats().shard_snapshots_reused, 0u);
+}
+
+TEST(SldService, CoalescedChurnNeverReachesShards) {
+  ServiceConfig cfg;
+  cfg.num_vertices = 10;
+  SldService svc(cfg);
+  for (int i = 0; i < 100; ++i) {
+    ticket_t t = svc.insert(0, 1 + (i % 5), 0.5);
+    svc.erase(t);  // annihilates in the queue
+  }
+  svc.flush();
+  auto r = svc.stats();
+  EXPECT_EQ(r.coalesced_pairs, 100u);
+  EXPECT_EQ(r.ops_applied, 0u);
+  EXPECT_EQ(svc.snapshot()->num_tree_edges(), 0u);
+}
+
+/// The acceptance stress test: N reader threads issue threshold /
+/// cluster-size / flat-clustering queries against epoch snapshots while
+/// a writer streams coalesced batches through flush(); every answer is
+/// checked against the Kruskal reference of that epoch's captured edge
+/// set. Snapshot consistency means a reader's answers agree with the
+/// reference even when many epochs are published mid-query-loop.
+TEST(SldService, StressReadersVsWriterMatchKruskalReference) {
+  const vertex_id n = 80;
+  const int kReaders = 4;
+  ServiceConfig cfg;
+  cfg.num_vertices = n;
+  cfg.num_shards = 2;
+  cfg.capture_edges = true;
+  SldService svc(cfg);
+
+  std::atomic<bool> done{false};
+  std::atomic<uint64_t> checks{0};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < kReaders; ++r) {
+    readers.emplace_back([&, r] {
+      par::Rng rng(1234 + r);
+      // Per-epoch reference cache (epochs repeat across iterations).
+      std::map<uint64_t, std::map<double, std::vector<vertex_id>>> cache;
+      while (!done.load(std::memory_order_acquire)) {
+        auto snap = svc.snapshot();
+        double tau = (1 + rng.next_bounded(9)) * 0.1;
+        auto& ref = cache[snap->epoch()][tau];
+        if (ref.empty())
+          ref = reference_labels(n, snap->captured_edges(), tau);
+        vertex_id s = rng.next_bounded(n), t = rng.next_bounded(n);
+        ASSERT_EQ(snap->same_cluster(s, t, tau), ref[s] == ref[t])
+            << "epoch " << snap->epoch() << " tau " << tau;
+        ASSERT_EQ(snap->cluster_size(s, tau), ref_cluster_size(ref, s));
+        expect_same_partition(ref, snap->flat_clustering(tau));
+        checks.fetch_add(1, std::memory_order_relaxed);
+        if (cache.size() > 8) cache.erase(cache.begin());
+      }
+    });
+  }
+
+  // Writer: streaming churn in batches.
+  par::Rng rng(4321);
+  std::vector<ticket_t> live;
+  uint64_t epochs = 0;
+  for (int batch = 0; batch < 60; ++batch) {
+    for (int i = 0; i < 12; ++i) {
+      if (!live.empty() && rng.next_double() < 0.35) {
+        size_t j = rng.next_bounded(live.size());
+        svc.erase(live[j]);
+        live[j] = live.back();
+        live.pop_back();
+      } else {
+        vertex_id u = rng.next_bounded(n), v;
+        do {
+          v = rng.next_bounded(n);
+        } while (v == u);
+        live.push_back(svc.insert(u, v, rng.next_double()));
+      }
+    }
+    epochs = svc.flush();
+    if (batch % 10 == 0) std::this_thread::yield();
+  }
+  // Let readers observe the final epoch for a moment.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  done.store(true, std::memory_order_release);
+  for (auto& th : readers) th.join();
+
+  EXPECT_GE(epochs, 50u);
+  EXPECT_GT(checks.load(), 0u);
+  auto r = svc.stats();
+  EXPECT_GE(r.epochs_published, 60u);
+}
+
+/// Background writer thread: epochs advance without explicit flushes.
+TEST(SldService, BackgroundWriterPublishesEpochs) {
+  ServiceConfig cfg;
+  cfg.num_vertices = 32;
+  cfg.flush_threshold = 8;
+  cfg.flush_interval = std::chrono::microseconds(100);
+  SldService svc(cfg);
+  svc.start_writer();
+  par::Rng rng(5);
+  for (int i = 0; i < 64; ++i) {
+    vertex_id u = rng.next_bounded(32), v;
+    do {
+      v = rng.next_bounded(32);
+    } while (v == u);
+    svc.insert(u, v, rng.next_double());
+  }
+  // The writer thread should pick these up on its own.
+  for (int spin = 0; spin < 200 && svc.pending_updates() > 0; ++spin)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  svc.stop_writer();
+  EXPECT_EQ(svc.pending_updates(), 0u);
+  EXPECT_GE(svc.epoch(), 1u);
+  EXPECT_GT(svc.snapshot()->num_tree_edges(), 0u);
+}
+
+/// Replay driver smoke test: the sliding-window trace ends with the
+/// same clustering whether driven through the service or re-derived
+/// from the captured edge set.
+TEST(Replay, SlidingWindowTraceMatchesReference) {
+  Trace tr = Trace::sliding_window(/*window=*/40, /*steps=*/4, /*per_step=*/10,
+                                   /*connect_radius=*/0.8, /*seed=*/11);
+  ServiceConfig cfg;
+  cfg.num_vertices = tr.num_vertices;
+  cfg.capture_edges = true;
+  SldService svc(cfg);
+  ReplayOptions opt;
+  opt.reader_threads = 2;
+  opt.tau = 0.35;
+  opt.ops_per_flush = 16;
+  ReplayReport rep = replay(tr, svc, opt);
+  EXPECT_EQ(rep.ops_applied, tr.ops.size());
+  EXPECT_GT(rep.epochs_published, 0u);
+  auto snap = svc.snapshot();
+  auto ref = reference_labels(tr.num_vertices, snap->captured_edges(), 0.35);
+  expect_same_partition(ref, snap->flat_clustering(0.35));
+}
+
+}  // namespace
+}  // namespace dynsld::engine
