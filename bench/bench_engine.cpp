@@ -2,17 +2,24 @@
 //
 //   1. Concurrent serving: a writer streams sliding-window batches
 //      through the service while R reader threads query epoch
-//      snapshots. Readers sustain queries *during* batch flushes —
-//      queries/s stays high while updates/s holds — because readers
-//      bind to immutable epochs instead of locking the structure.
+//      snapshots. Readers hold a ThresholdView per epoch (amortized
+//      read path) vs re-resolving per call; the ratio column is the
+//      amortization win.
 //   2. Shard scaling: block-local churn with a small cross-shard
 //      fraction, S = 1..8 shards; per-shard sub-batches apply in
 //      parallel on the fork-join pool.
 //   3. Coalescing: short-lived edges annihilate in the mutation queue
 //      and never reach the shards.
+//   4. View amortization: N mixed queries at one tau through per-call
+//      snapshot conveniences vs one ThresholdView vs one batched
+//      ClusterView::run() — one cross-shard merge resolution amortized
+//      over the whole batch.
 //
-//   $ ./bench_engine
+//   $ ./bench_engine [--smoke]     (--smoke: tiny sizes, CI rot check)
+#include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <vector>
 
 #include "bench_util.hpp"
 #include "engine/replay.hpp"
@@ -23,33 +30,59 @@
 using namespace dynsld;
 using namespace dynsld::engine;
 
-static void concurrent_serving() {
+static double now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+static void concurrent_serving(bool smoke) {
   bench::header("E-ENGINE-1", "readers sustain queries during batch flushes");
-  Trace tr = Trace::sliding_window(/*window=*/600, /*steps=*/30,
-                                   /*per_step=*/120, /*connect_radius=*/0.45,
+  Trace tr = Trace::sliding_window(/*window=*/smoke ? 120 : 600,
+                                   /*steps=*/smoke ? 6 : 30,
+                                   /*per_step=*/smoke ? 30 : 120,
+                                   /*connect_radius=*/0.45,
                                    /*seed=*/42);
   bench::row("%-28s %8zu vertices, %zu ops (%zu inserts)", "sliding-window trace:",
              (size_t)tr.num_vertices, tr.ops.size(), tr.num_inserts());
-  bench::row("%8s %12s %12s %10s %12s", "readers", "updates/s", "queries/s",
-             "epochs", "wall_ms");
-  for (int readers : {0, 1, 2, 4, 8}) {
-    ServiceConfig cfg;
-    cfg.num_vertices = tr.num_vertices;
-    SldService svc(cfg);
-    ReplayOptions opt;
-    opt.reader_threads = readers;
-    opt.tau = 0.3;
-    opt.ops_per_flush = 128;
-    ReplayReport rep = replay(tr, svc, opt);
-    bench::row("%8d %12.0f %12.0f %10llu %12.2f", readers, rep.updates_per_s,
-               rep.queries_per_s, (unsigned long long)rep.epochs_published,
-               rep.wall_ms);
+  bench::row("%8s %12s %14s %14s %8s %10s", "readers", "updates/s",
+             "q/s percall", "q/s amortized", "ratio", "epochs");
+  for (int readers : smoke ? std::vector<int>{0, 2} : std::vector<int>{0, 1, 2, 4, 8}) {
+    ReplayReport per_call, amortized;
+    // With no readers the two modes are identical writer-only runs, so
+    // a single replay covers the row.
+    for (bool amortize : readers == 0 ? std::vector<bool>{true}
+                                      : std::vector<bool>{false, true}) {
+      ServiceConfig cfg;
+      cfg.num_vertices = tr.num_vertices;
+      SldService svc(cfg);
+      ReplayOptions opt;
+      opt.reader_threads = readers;
+      opt.tau = 0.3;
+      opt.ops_per_flush = 128;
+      opt.amortize_views = amortize;
+      (amortize ? amortized : per_call) = replay(tr, svc, opt);
+    }
+    if (readers == 0) {
+      bench::row("%8d %12.0f %14s %14s %8s %10llu", readers,
+                 amortized.updates_per_s, "-", "-", "-",
+                 (unsigned long long)amortized.epochs_published);
+    } else {
+      bench::row("%8d %12.0f %14.0f %14.0f %7.1fx %10llu", readers,
+                 amortized.updates_per_s, per_call.queries_per_s,
+                 amortized.queries_per_s,
+                 per_call.queries_per_s > 0
+                     ? amortized.queries_per_s / per_call.queries_per_s
+                     : 0.0,
+                 (unsigned long long)amortized.epochs_published);
+    }
   }
 }
 
-static void shard_scaling() {
+static void shard_scaling(bool smoke) {
   bench::header("E-ENGINE-2", "sharded flushes: independent blocks in parallel");
-  const int groups = 8, block = 512, ops = 40000;
+  const int groups = 8, block = smoke ? 128 : 512,
+            ops = smoke ? 4000 : 40000;
   Trace tr = Trace::blocks(groups, block, ops, /*cross_fraction=*/0.03,
                            /*seed=*/7);
   bench::row("%-28s %d blocks x %d vertices, %zu ops", "block-churn trace:",
@@ -70,7 +103,7 @@ static void shard_scaling() {
   }
 }
 
-static void coalescing() {
+static void coalescing(bool smoke) {
   bench::header("E-ENGINE-3", "update coalescing: churn dies in the queue");
   const vertex_id n = 4096;
   bench::row("%12s %12s %12s %14s", "churn_frac", "enqueued", "applied",
@@ -80,7 +113,7 @@ static void coalescing() {
     cfg.num_vertices = n;
     SldService svc(cfg);
     par::Rng rng(13);
-    const int ops = 20000;
+    const int ops = smoke ? 2000 : 20000;
     std::vector<ticket_t> live;
     for (int i = 0; i < ops; ++i) {
       vertex_id u = rng.next_bounded(n), v;
@@ -104,10 +137,104 @@ static void coalescing() {
   }
 }
 
-int main() {
-  std::printf("workers: %d\n", par::num_workers());
-  concurrent_serving();
-  shard_scaling();
-  coalescing();
+static void view_amortization(bool smoke) {
+  bench::header("E-ENGINE-4",
+                "ThresholdView/run(): one merge resolution, many queries");
+  // 4-shard service with enough sub-tau cross edges that every per-call
+  // query pays a fresh cross-shard union-find resolution.
+  const int shards = 4, block = smoke ? 256 : 1024;
+  const vertex_id n = static_cast<vertex_id>(shards) * block;
+  ServiceConfig cfg;
+  cfg.num_vertices = n;
+  cfg.num_shards = shards;
+  SldService svc(cfg);
+  par::Rng rng(2027);
+  const int edges = smoke ? 2000 : 12000;
+  for (int i = 0; i < edges; ++i) {
+    vertex_id u, v;
+    if (rng.next_double() < 0.15) {  // cross-shard
+      u = rng.next_bounded(n);
+      do {
+        v = rng.next_bounded(n);
+      } while (v / block == u / block);
+    } else {
+      int g = static_cast<int>(rng.next_bounded(shards));
+      u = static_cast<vertex_id>(g) * block + rng.next_bounded(block);
+      do {
+        v = static_cast<vertex_id>(g) * block + rng.next_bounded(block);
+      } while (v == u);
+    }
+    svc.insert(u, v, rng.next_double());
+  }
+  svc.flush();
+
+  const double tau = 0.35;
+  const int q = smoke ? 2000 : 20000;
+  std::vector<Query> queries;
+  queries.reserve(q);
+  par::Rng qrng(5);
+  for (int i = 0; i < q; ++i) {
+    vertex_id u = qrng.next_bounded(n), v = qrng.next_bounded(n);
+    switch (qrng.next_bounded(3)) {
+      case 0:
+        queries.push_back(SameClusterQuery{u, v, tau});
+        break;
+      case 1:
+        queries.push_back(ClusterSizeQuery{u, tau});
+        break;
+      default:
+        queries.push_back(ClusterReportQuery{u, tau});
+        break;
+    }
+  }
+
+  auto snap = svc.snapshot();
+  double t0 = now_ms();
+  for (const Query& query : queries) {
+    if (const auto* sc = std::get_if<SameClusterQuery>(&query))
+      snap->same_cluster(sc->u, sc->v, tau);
+    else if (const auto* cs = std::get_if<ClusterSizeQuery>(&query))
+      snap->cluster_size(cs->u, tau);
+    else if (const auto* cr = std::get_if<ClusterReportQuery>(&query))
+      snap->cluster_report(cr->u, tau);
+  }
+  double per_call_ms = now_ms() - t0;
+
+  ClusterView view = svc.view();
+  auto before = svc.stats();
+  t0 = now_ms();
+  auto tv = view.at(tau);
+  for (const Query& query : queries) tv->run(query);
+  double view_ms = now_ms() - t0;
+  auto after = svc.stats();
+
+  t0 = now_ms();
+  auto results = svc.run(queries);
+  double batch_ms = now_ms() - t0;
+
+  bench::row("%-24s %8zu queries @tau=%.2f, %zu cross edges", "mixed workload:",
+             queries.size(), tau, svc.snapshot()->cross().size());
+  bench::row("%-24s %10.2f ms  (%12.0f q/s)", "per-call conveniences:",
+             per_call_ms, 1e3 * q / per_call_ms);
+  bench::row("%-24s %10.2f ms  (%12.0f q/s)  %.1fx", "one ThresholdView:",
+             view_ms, 1e3 * q / view_ms, per_call_ms / view_ms);
+  bench::row("%-24s %10.2f ms  (%12.0f q/s)  %.1fx", "batched run():",
+             batch_ms, 1e3 * q / batch_ms, per_call_ms / batch_ms);
+  bench::row("%-24s %llu cross-uf builds for %d view queries (per-call: 1 each)",
+             "merge resolutions:",
+             (unsigned long long)(after.cross_uf_builds - before.cross_uf_builds),
+             q);
+  (void)results;
+}
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  std::printf("workers: %d%s\n", par::num_workers(), smoke ? " (smoke)" : "");
+  concurrent_serving(smoke);
+  shard_scaling(smoke);
+  coalescing(smoke);
+  view_amortization(smoke);
   return 0;
 }

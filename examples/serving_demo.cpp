@@ -1,10 +1,11 @@
 // Serving demo: the engine's end-to-end story in one page.
 //
 // A background writer thread flushes coalesced update batches while the
-// main thread plays "user traffic": acquiring epoch snapshots and
-// asking live clustering questions. Every query binds to one epoch, so
-// a multi-call read (size + members + threshold) is internally
-// consistent even though updates keep landing underneath it.
+// main thread plays "user traffic" through the view plane: it pins an
+// epoch with service.view(), resolves a ThresholdView once per round,
+// and asks every clustering question against that one resolution —
+// internally consistent reads, zero repeated merge work. The finale
+// runs a typed Query batch (ClusterView::run) mixing thresholds.
 //
 //   $ ./serving_demo
 #include <cstdio>
@@ -51,33 +52,47 @@ int main() {
     }
   });
 
-  // Query traffic against whatever epoch is current.
+  // Query traffic: one ClusterView per round pins the epoch; the
+  // ThresholdView resolves tau once for all four questions.
   par::Rng qrng(7);
+  const double tau = 0.25;
   for (int round = 0; round < 10; ++round) {
     std::this_thread::sleep_for(std::chrono::milliseconds(8));
-    auto snap = svc.snapshot();  // one consistent view for all 3 queries
+    ClusterView view = svc.view();
+    auto tv = view.at(tau);
     vertex_id probe = qrng.next_bounded(n);
-    double tau = 0.25;
-    auto labels = snap->flat_clustering(tau);
-    int clusters = 0;
-    {
-      std::vector<char> seen(n, 0);
-      for (vertex_id v = 0; v < n; ++v) {
-        if (!seen[labels[v]]) {
-          seen[labels[v]] = 1;
-          ++clusters;
-        }
-      }
-    }
+    const SizeHistogram& hist = tv->size_histogram();
     std::printf(
-        "epoch %4llu: %5zu tree edges, %4d clusters @tau=%.2f; vertex %3u's "
-        "cluster has %llu members\n",
-        (unsigned long long)snap->epoch(), snap->num_tree_edges(), clusters,
-        tau, probe, (unsigned long long)snap->cluster_size(probe, tau));
+        "epoch %4llu: %5zu tree edges, %4llu clusters @tau=%.2f (biggest "
+        "%llu); vertex %3u's cluster has %llu members\n",
+        (unsigned long long)view.epoch(), view.snapshot().num_tree_edges(),
+        (unsigned long long)hist.num_clusters(), tau,
+        (unsigned long long)(hist.bins.empty() ? 0 : hist.bins.back().first),
+        probe, (unsigned long long)tv->cluster_size(probe));
   }
 
   producer.join();
   svc.stop_writer();
+
+  // Typed batch: mixed kinds across two thresholds, grouped by tau and
+  // answered in parallel against one epoch.
+  std::vector<Query> batch;
+  for (double t : {0.15, 0.4}) {
+    batch.push_back(SameClusterQuery{1, 2, t});
+    batch.push_back(ClusterSizeQuery{3, t});
+    batch.push_back(SizeHistogramQuery{t});
+  }
+  std::vector<QueryResult> results = svc.run(batch);
+  for (size_t i = 0; i < batch.size(); i += 3) {
+    double t = query_tau(batch[i]);
+    std::printf(
+        "batch @tau=%.2f: same_cluster(1,2)=%s  |cluster(3)|=%llu  "
+        "clusters=%llu\n",
+        t, std::get<bool>(results[i]) ? "yes" : "no",
+        (unsigned long long)std::get<uint64_t>(results[i + 1]),
+        (unsigned long long)std::get<SizeHistogram>(results[i + 2])
+            .num_clusters());
+  }
   print_report(svc.stats());
   return 0;
 }

@@ -3,11 +3,12 @@
 // maintains the exact single-linkage dendrogram of the evolving
 // similarity graph and answers live cluster queries.
 //
-// This drives the serving engine (SldService) rather than a raw
-// DynamicClustering: edges are enqueued against tickets, each window
-// slide is one coalesced batch flush, and the cluster census reads an
-// immutable epoch snapshot — the same output as the raw pipeline, now
-// through an API that also supports concurrent readers.
+// This drives the serving engine (SldService) through its view plane:
+// edges are enqueued on insert and erased *by endpoints* — the queue's
+// (u, v) ledger resolves tickets, so points only remember who they
+// connected to. Each window slide is one coalesced batch flush; the
+// cluster census pins the new epoch with service.view() and reads the
+// whole report off one ThresholdView resolution.
 //
 // Workload: a sliding window over a stream of 2-D points (three moving
 // Gaussian-ish blobs). Each window step inserts new points' edges,
@@ -41,7 +42,7 @@ int main() {
   struct Point {
     vertex_id id;
     double x, y;
-    std::vector<ticket_t> edges;  // tickets of edges touching it
+    std::vector<vertex_id> neighbors;  // endpoints of similarity edges
   };
   std::deque<Point> live;
   vertex_id next_id = 0;
@@ -58,16 +59,16 @@ int main() {
     p.id = next_id++;
     p.x = cx + (rng.next_double() - 0.5) * 0.3;
     p.y = cy + (rng.next_double() - 0.5) * 0.3;
-    // Similarity edges to all live points within distance 0.8. Tickets
-    // are stable from enqueue time, so expiry needs no liveness check:
-    // a repeated erase of the same ticket is dropped by the queue (same
-    // batch) or by the router's ticket ledger (later batch).
+    // Similarity edges to all live points within distance 0.8. No
+    // tickets retained: expiry erases by endpoints through the queue's
+    // ledger, which also makes the duplicate erase from the second
+    // endpoint a clean no-op (the pair is gone after the first).
     for (Point& q : live) {
       double d = std::hypot(p.x - q.x, p.y - q.y);
       if (d <= 0.8) {
-        ticket_t h = svc.insert(p.id, q.id, d);
-        p.edges.push_back(h);
-        q.edges.push_back(h);
+        svc.insert(p.id, q.id, d);
+        p.neighbors.push_back(q.id);
+        q.neighbors.push_back(p.id);
       }
     }
     live.push_back(std::move(p));
@@ -78,19 +79,19 @@ int main() {
   std::printf("%5s %7s %9s %7s %10s %8s\n", "step", "points", "msf_edges",
               "epoch", "clusters", "biggest");
   for (int t = 0; t < steps; ++t) {
-    // Expire the oldest points; their edges go with them (each edge's
-    // ticket is recorded on both endpoints — the duplicate erase from
-    // the second endpoint coalesces away in the mutation queue).
+    // Expire the oldest points; their edges go with them.
     for (int i = 0; i < per_step; ++i) {
-      for (ticket_t h : live.front().edges) svc.erase(h);
+      const Point& p = live.front();
+      for (vertex_id q : p.neighbors) svc.erase(p.id, q);
       live.pop_front();
     }
     for (int i = 0; i < per_step; ++i) add_point(t);
     svc.flush();  // one batch per window slide -> one epoch
 
-    // Cluster census at threshold tau against the new epoch.
-    auto snap = svc.snapshot();
-    auto labels = snap->flat_clustering(tau);
+    // Cluster census at threshold tau: one ThresholdView per epoch.
+    ClusterView view = svc.view();
+    auto tv = view.at(tau);
+    const auto& labels = tv->flat_clustering();
     std::vector<int> count(capacity, 0);
     int clusters = 0, biggest = 0;
     for (const Point& p : live) {
@@ -99,11 +100,12 @@ int main() {
       if (c > biggest) biggest = c;
     }
     std::printf("%5d %7zu %9zu %7llu %10d %8d\n", t, live.size(),
-                snap->num_tree_edges(), (unsigned long long)snap->epoch(),
-                clusters, biggest);
+                view.snapshot().num_tree_edges(),
+                (unsigned long long)view.epoch(), clusters, biggest);
   }
 
-  // Drill into the cluster of the newest point.
+  // Drill into the cluster of the newest point — same view surface,
+  // single-shot convenience on the service.
   const Point& probe = live.back();
   auto members = svc.cluster_report(probe.id, tau);
   std::printf("\ncluster of newest point %u at tau=%.2f: %zu members\n",

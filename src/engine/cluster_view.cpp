@@ -1,0 +1,237 @@
+#include "engine/cluster_view.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+#include "dendrogram/static_sld.hpp"
+#include "parallel/par.hpp"
+
+namespace dynsld::engine {
+
+ThresholdView::ThresholdView(EpochManager::Snap snap, double tau)
+    : snap_(std::move(snap)), tau_(tau) {
+  const EngineSnapshot& es = *snap_;
+  const auto& stats = es.stats();
+  if (stats) stats->views_built.fetch_add(1, std::memory_order_relaxed);
+
+  const auto& cross = es.cross().edges();  // weight-ascending
+  size_t m = 0;
+  while (m < cross.size() && cross[m].w <= tau_) ++m;
+  if (m == 0) return;  // trivial mode: every cluster is one shard blob
+
+  if (stats) stats->cross_uf_builds.fetch_add(1, std::memory_order_relaxed);
+  const ShardMap& map = es.shard_map();
+
+  auto intern = [&](vertex_id x) -> uint32_t {
+    int s = map.home(x);
+    int32_t top = es.shard(s).top_of(x, tau_);
+    auto [it, fresh] =
+        blob_id_.try_emplace(blob_key(s, top, x),
+                             static_cast<uint32_t>(blobs_.size()));
+    if (fresh) blobs_.push_back(Blob{s, top, x});
+    return it->second;
+  };
+
+  std::vector<std::pair<uint32_t, uint32_t>> unions;
+  unions.reserve(m);
+  for (size_t i = 0; i < m; ++i)
+    unions.emplace_back(intern(cross[i].u), intern(cross[i].v));
+
+  UnionFind uf(blobs_.size());
+  for (auto [a, b] : unions) uf.unite(a, b);
+
+  // Flatten into dense immutable groups (queries must be pure reads).
+  blob_group_.assign(blobs_.size(), -1);
+  std::vector<int32_t> root_group(blobs_.size(), -1);
+  int32_t num_groups = 0;
+  for (uint32_t i = 0; i < blobs_.size(); ++i) {
+    vertex_id r = uf.find(i);
+    if (root_group[r] < 0) root_group[r] = num_groups++;
+    blob_group_[i] = root_group[r];
+  }
+
+  group_size_.assign(num_groups, 0);
+  group_off_.assign(num_groups + 1, 0);
+  for (uint32_t i = 0; i < blobs_.size(); ++i) ++group_off_[blob_group_[i] + 1];
+  std::partial_sum(group_off_.begin(), group_off_.end(), group_off_.begin());
+  group_blobs_.resize(blobs_.size());
+  std::vector<uint32_t> cursor(group_off_.begin(), group_off_.end() - 1);
+  for (uint32_t i = 0; i < blobs_.size(); ++i) {
+    group_blobs_[cursor[blob_group_[i]]++] = i;
+    const Blob& b = blobs_[i];
+    group_size_[blob_group_[i]] +=
+        b.top == DendrogramSnapshot::kNoSlot
+            ? 1
+            : es.shard(b.shard).slot_count(b.top);
+  }
+}
+
+int32_t ThresholdView::resolve(vertex_id x, int& shard, int32_t& top) const {
+  const EngineSnapshot& es = *snap_;
+  shard = es.shard_map().home(x);
+  top = es.shard(shard).top_of(x, tau_);
+  if (blob_id_.empty()) return -1;
+  auto it = blob_id_.find(blob_key(shard, top, x));
+  return it == blob_id_.end() ? -1 : blob_group_[it->second];
+}
+
+bool ThresholdView::same_cluster(vertex_id s, vertex_id t) const {
+  const auto& stats = snap_->stats();
+  if (stats) stats->q_same_cluster.fetch_add(1, std::memory_order_relaxed);
+  if (s == t) return true;
+  int ss, st;
+  int32_t tops, topt;
+  int32_t gs = resolve(s, ss, tops);
+  int32_t gt = resolve(t, st, topt);
+  if (gs >= 0 || gt >= 0) return gs == gt;
+  // Neither blob is touched by a sub-tau cross edge: the cluster is the
+  // blob itself, so equality is same shard + same (non-singleton) top.
+  return ss == st && tops != DendrogramSnapshot::kNoSlot && tops == topt;
+}
+
+uint64_t ThresholdView::cluster_size(vertex_id u) const {
+  const auto& stats = snap_->stats();
+  if (stats) stats->q_cluster_size.fetch_add(1, std::memory_order_relaxed);
+  int s;
+  int32_t top;
+  int32_t g = resolve(u, s, top);
+  if (g >= 0) return group_size_[g];
+  return top == DendrogramSnapshot::kNoSlot
+             ? 1
+             : snap_->shard(s).slot_count(top);
+}
+
+std::vector<vertex_id> ThresholdView::cluster_report(vertex_id u) const {
+  const auto& stats = snap_->stats();
+  if (stats) stats->q_cluster_report.fetch_add(1, std::memory_order_relaxed);
+  int s;
+  int32_t top;
+  int32_t g = resolve(u, s, top);
+  if (g < 0) {
+    if (top == DendrogramSnapshot::kNoSlot) return {u};
+    std::vector<vertex_id> out;
+    out.reserve(snap_->shard(s).slot_count(top));
+    snap_->shard(s).members_of(top, out);
+    return out;
+  }
+  std::vector<vertex_id> out;
+  out.reserve(group_size_[g]);
+  for (uint32_t i = group_off_[g]; i < group_off_[g + 1]; ++i) {
+    const Blob& b = blobs_[group_blobs_[i]];
+    if (b.top == DendrogramSnapshot::kNoSlot)
+      out.push_back(b.vtx);
+    else
+      snap_->shard(b.shard).members_of(b.top, out);
+  }
+  return out;
+}
+
+const std::vector<vertex_id>& ThresholdView::labels() const {
+  std::call_once(labels_once_, [this] {
+    const EngineSnapshot& es = *snap_;
+    const ShardMap& map = es.shard_map();
+    UnionFind uf(map.n);
+    for (int k = 0; k < map.num_shards; ++k)
+      es.shard(k).threshold_union(uf, tau_);
+    for (const CrossEdgeView::Edge& e : es.cross().edges()) {
+      if (e.w > tau_) break;  // weight-ascending
+      uf.unite(e.u, e.v);
+    }
+    labels_.resize(map.n);
+    for (vertex_id v = 0; v < map.n; ++v) labels_[v] = uf.find(v);
+  });
+  return labels_;
+}
+
+const std::vector<vertex_id>& ThresholdView::flat_clustering() const {
+  const auto& stats = snap_->stats();
+  if (stats) stats->q_flat_clustering.fetch_add(1, std::memory_order_relaxed);
+  return labels();
+}
+
+const SizeHistogram& ThresholdView::size_histogram() const {
+  const auto& stats = snap_->stats();
+  if (stats) stats->q_size_histogram.fetch_add(1, std::memory_order_relaxed);
+  std::call_once(histogram_once_, [this] {
+    std::unordered_map<vertex_id, uint64_t> csize;
+    for (vertex_id l : labels()) ++csize[l];
+    std::map<uint64_t, uint64_t> hist;
+    for (const auto& [label, size] : csize) ++hist[size];
+    histogram_.bins.assign(hist.begin(), hist.end());
+  });
+  return histogram_;
+}
+
+QueryResult ThresholdView::run(const Query& q) const {
+  // This view's threshold is authoritative (see header); the request's
+  // tau is only the ClusterView::run routing key.
+  assert(query_tau(q) == tau_);
+  struct Dispatch {
+    const ThresholdView& v;
+    QueryResult operator()(const SameClusterQuery& r) const {
+      return v.same_cluster(r.u, r.v);
+    }
+    QueryResult operator()(const ClusterSizeQuery& r) const {
+      return v.cluster_size(r.u);
+    }
+    QueryResult operator()(const ClusterReportQuery& r) const {
+      return v.cluster_report(r.u);
+    }
+    QueryResult operator()(const FlatClusteringQuery&) const {
+      return v.flat_clustering();
+    }
+    QueryResult operator()(const SizeHistogramQuery&) const {
+      return v.size_histogram();
+    }
+  };
+  return std::visit(Dispatch{*this}, q);
+}
+
+ClusterView::ClusterView(EpochManager::Snap snap)
+    : snap_(std::move(snap)), cache_(std::make_shared<Cache>()) {}
+
+std::shared_ptr<const ThresholdView> ClusterView::at(double tau) const {
+  {
+    std::lock_guard<std::mutex> lk(cache_->mu);
+    auto it = cache_->views.find(tau);
+    if (it != cache_->views.end()) return it->second;
+  }
+  // Build outside the lock (the resolution can be expensive); a racing
+  // builder at the same tau loses to whoever inserts first.
+  auto view = std::make_shared<const ThresholdView>(snap_, tau);
+  std::lock_guard<std::mutex> lk(cache_->mu);
+  auto [it, fresh] = cache_->views.try_emplace(tau, std::move(view));
+  return it->second;
+}
+
+std::vector<QueryResult> ClusterView::run(std::span<const Query> queries) const {
+  std::vector<QueryResult> out(queries.size());
+  std::map<double, std::vector<uint32_t>> by_tau;
+  for (uint32_t i = 0; i < queries.size(); ++i)
+    by_tau[query_tau(queries[i])].push_back(i);
+  std::vector<const std::pair<const double, std::vector<uint32_t>>*> groups;
+  groups.reserve(by_tau.size());
+  for (const auto& g : by_tau) groups.push_back(&g);
+
+  const auto& stats = snap_->stats();
+  if (stats) {
+    stats->batch_runs.fetch_add(1, std::memory_order_relaxed);
+    stats->batch_queries.fetch_add(queries.size(), std::memory_order_relaxed);
+  }
+
+  par::parallel_for(
+      0, groups.size(),
+      [&](size_t g) {
+        auto view = at(groups[g]->first);  // one resolution per tau
+        const std::vector<uint32_t>& idx = groups[g]->second;
+        par::parallel_for(
+            0, idx.size(),
+            [&](size_t j) { out[idx[j]] = view->run(queries[idx[j]]); },
+            /*grain=*/8);
+      },
+      /*grain=*/1);
+  return out;
+}
+
+}  // namespace dynsld::engine

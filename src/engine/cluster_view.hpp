@@ -1,0 +1,147 @@
+// First-class read views over an epoch snapshot — the query plane.
+//
+//   SldService::view() ──> ClusterView (pins one epoch)
+//                             │ at(tau)            (cached per tau)
+//                             v
+//                          ThresholdView (merge resolved ONCE at tau)
+//                             │ same_cluster / cluster_size /
+//                             │ cluster_report / flat_clustering /
+//                             │ size_histogram / run(Query)
+//
+// A ThresholdView resolves everything tau-dependent up front, exactly
+// once: it scans the weight-ascending cross-edge prefix (w <= tau),
+// computes the per-shard top cluster node of every cross endpoint
+// (O(log h) each), and runs a union-find over those *blobs* — a blob
+// being one shard's cluster (shard, top slot) or a cross-touched
+// singleton vertex. The flattened result (dense groups with aggregate
+// sizes and member-blob lists) is immutable, so any number of threads
+// then answer:
+//
+//   same_cluster   O(log h)         two top_of lookups + group compare
+//   cluster_size   O(log h)         one top_of + group aggregate
+//   cluster_report O(log h + |S|)   walk the group's blob member lists
+//   flat_clustering / size_histogram  O(n) label materialization,
+//                                     computed once per view (call_once)
+//
+// The build is O(X log h + X alpha) for X sub-tau cross edges —
+// independent of n and of the query count, which is the whole point:
+// thousands of queries at one tau share a single merge resolution
+// instead of re-deriving it per call (the PR 1 behavior).
+//
+// ClusterView is a cheap value type (two shared_ptrs): it pins the
+// epoch like EngineSnapshot does and memoizes ThresholdViews by tau.
+// run() executes a typed Query batch: group by tau, resolve each
+// threshold once, fan the groups out on the fork-join scheduler.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/epoch.hpp"
+#include "engine/query.hpp"
+
+namespace dynsld::engine {
+
+class ThresholdView {
+ public:
+  /// Resolve `snap` at threshold tau (one cross-shard union-find
+  /// build). Prefer ClusterView::at(), which memoizes.
+  ThresholdView(EpochManager::Snap snap, double tau);
+
+  double tau() const { return tau_; }
+  uint64_t epoch() const { return snap_->epoch(); }
+  const EngineSnapshot& snapshot() const { return *snap_; }
+
+  // ---- §6.1 queries, all const and thread-safe ----
+
+  bool same_cluster(vertex_id s, vertex_id t) const;
+  uint64_t cluster_size(vertex_id u) const;
+  std::vector<vertex_id> cluster_report(vertex_id u) const;
+  /// Both O(n) materializations happen once per view (call_once) and
+  /// return references into it — copy if you outlive the view.
+  const std::vector<vertex_id>& flat_clustering() const;
+  const SizeHistogram& size_histogram() const;
+
+  /// Dispatch one typed query. The view's threshold is authoritative:
+  /// the request is answered at tau() regardless of its own tau field
+  /// (which only ClusterView::run uses, to route each query to the
+  /// right view). Passing a mismatched query is a caller bug — asserted
+  /// in debug builds; route through ClusterView::run when in doubt.
+  QueryResult run(const Query& q) const;
+
+  /// Number of merged cross-shard groups (introspection/tests).
+  size_t num_cross_groups() const { return group_size_.size(); }
+
+ private:
+  // A blob is the unit the cross merge unites: one shard-local cluster
+  // (shard, top slot) or a vertex that is a singleton at tau but has a
+  // sub-tau cross edge.
+  struct Blob {
+    int32_t shard;
+    int32_t top;    // kNoSlot for a singleton blob
+    vertex_id vtx;  // the singleton vertex (unused otherwise)
+  };
+
+  static uint64_t blob_key(int shard, int32_t top, vertex_id vtx) {
+    // Clustered blobs get shard+1 in the high word; singleton blobs get
+    // 0 there and the vertex id below, so the two spaces never collide.
+    if (top == DendrogramSnapshot::kNoSlot) return static_cast<uint64_t>(vtx);
+    return (static_cast<uint64_t>(shard + 1) << 32) |
+           static_cast<uint32_t>(top);
+  }
+
+  /// Group of vertex x's blob, or -1 when no sub-tau cross edge touches
+  /// it (the blob then IS the cluster). Also yields shard and top slot.
+  int32_t resolve(vertex_id x, int& shard, int32_t& top) const;
+
+  /// Lazily materialized flat labels (one global union-find pass),
+  /// shared by flat_clustering and size_histogram.
+  const std::vector<vertex_id>& labels() const;
+
+  EpochManager::Snap snap_;
+  double tau_ = 0.0;
+  // Dense blob table over the endpoints of sub-tau cross edges; empty
+  // in the trivial (no sub-tau cross edge) mode.
+  std::unordered_map<uint64_t, uint32_t> blob_id_;
+  std::vector<Blob> blobs_;
+  std::vector<int32_t> blob_group_;
+  std::vector<uint64_t> group_size_;                // per group: vertices
+  std::vector<uint32_t> group_off_, group_blobs_;   // CSR group -> blobs
+  mutable std::once_flag labels_once_;
+  mutable std::vector<vertex_id> labels_;
+  mutable std::once_flag histogram_once_;
+  mutable SizeHistogram histogram_;
+};
+
+class ClusterView {
+ public:
+  explicit ClusterView(EpochManager::Snap snap);
+
+  uint64_t epoch() const { return snap_->epoch(); }
+  const EngineSnapshot& snapshot() const { return *snap_; }
+  EpochManager::Snap snap() const { return snap_; }
+
+  /// The resolved view at threshold tau; memoized, so every later
+  /// at(tau) — and every run() query at tau — reuses the resolution.
+  std::shared_ptr<const ThresholdView> at(double tau) const;
+
+  /// Execute a typed query batch: group by tau, resolve each distinct
+  /// threshold once, run the groups in parallel on the fork-join
+  /// scheduler. results[i] answers queries[i].
+  std::vector<QueryResult> run(std::span<const Query> queries) const;
+
+ private:
+  struct Cache {
+    std::mutex mu;
+    std::map<double, std::shared_ptr<const ThresholdView>> views;
+  };
+
+  EpochManager::Snap snap_;
+  std::shared_ptr<Cache> cache_;
+};
+
+}  // namespace dynsld::engine

@@ -1,35 +1,16 @@
 #include "engine/epoch.hpp"
 
 #include <algorithm>
-#include <limits>
 #include <numeric>
-#include <unordered_set>
 
-#include "dendrogram/static_sld.hpp"
+#include "engine/cluster_view.hpp"
 
 namespace dynsld::engine {
 
-CrossEdgeView::CrossEdgeView(std::vector<Edge> edges, vertex_id n)
+CrossEdgeView::CrossEdgeView(std::vector<Edge> edges)
     : edges_(std::move(edges)) {
   std::sort(edges_.begin(), edges_.end(),
             [](const Edge& a, const Edge& b) { return a.w < b.w; });
-  off_.assign(n + 1, 0);
-  for (const Edge& e : edges_) {
-    ++off_[e.u + 1];
-    ++off_[e.v + 1];
-  }
-  std::partial_sum(off_.begin(), off_.end(), off_.begin());
-  adj_.resize(2 * edges_.size());
-  std::vector<uint32_t> cursor(off_.begin(), off_.end() - 1);
-  for (uint32_t i = 0; i < edges_.size(); ++i) {
-    adj_[cursor[edges_[i].u]++] = i;
-    adj_[cursor[edges_[i].v]++] = i;
-  }
-}
-
-double CrossEdgeView::min_weight() const {
-  return edges_.empty() ? std::numeric_limits<double>::infinity()
-                        : edges_.front().w;
 }
 
 size_t EngineSnapshot::num_tree_edges() const {
@@ -38,93 +19,32 @@ size_t EngineSnapshot::num_tree_edges() const {
   return total;
 }
 
-bool EngineSnapshot::collect_cluster(vertex_id u, double tau,
-                                     std::vector<vertex_id>& out,
-                                     vertex_id stop) const {
-  // BFS whose units are shard "blobs" (one shard's cluster of a vertex)
-  // glued together by sub-tau cross edges. Every vertex has intra-shard
-  // edges only in its home shard, so one top_of per visited vertex
-  // suffices; visited blobs are deduplicated by (shard, top slot).
-  std::unordered_set<vertex_id> seen{u};
-  std::unordered_set<uint64_t> blobs;
-  std::vector<vertex_id> queue{u};
-  std::vector<vertex_id> members;
-  out.push_back(u);
-  for (size_t head = 0; head < queue.size(); ++head) {
-    vertex_id x = queue[head];
-    int s = map_.home(x);
-    int32_t top = shards_[s]->top_of(x, tau);
-    if (top != DendrogramSnapshot::kNoSlot &&
-        blobs.insert((static_cast<uint64_t>(s) << 32) |
-                     static_cast<uint32_t>(top))
-            .second) {
-      members.clear();
-      shards_[s]->members_of(top, members);
-      for (vertex_id m : members) {
-        if (seen.insert(m).second) {
-          out.push_back(m);
-          queue.push_back(m);
-        }
-      }
-    }
-    cross_->for_each_incident(x, [&](vertex_id y, double w) {
-      if (w > tau) return;
-      if (seen.insert(y).second) {
-        out.push_back(y);
-        queue.push_back(y);
-      }
-    });
-    if (stop != kNoVertex && seen.count(stop)) return true;
-  }
-  return stop != kNoVertex && seen.count(stop) > 0;
+namespace {
+
+/// Non-owning alias of a caller-held snapshot, so the convenience
+/// wrappers can stand up a transient ThresholdView without a refcount
+/// round-trip (the caller's shared_ptr keeps the epoch alive).
+EpochManager::Snap alias(const EngineSnapshot* snap) {
+  return EpochManager::Snap(std::shared_ptr<void>(), snap);
 }
 
+}  // namespace
+
 bool EngineSnapshot::same_cluster(vertex_id s, vertex_id t, double tau) const {
-  if (stats_) stats_->q_same_cluster.fetch_add(1, std::memory_order_relaxed);
-  if (s == t) return true;
-  if (cross_->min_weight() > tau) {
-    // No sub-tau cross edge: the answer is intra-shard or trivially no.
-    if (map_.home(s) != map_.home(t)) return false;
-    return shards_[map_.home(s)]->same_cluster(s, t, tau);
-  }
-  std::vector<vertex_id> scratch;
-  return collect_cluster(s, tau, scratch, t);
+  return ThresholdView(alias(this), tau).same_cluster(s, t);
 }
 
 uint64_t EngineSnapshot::cluster_size(vertex_id u, double tau) const {
-  if (stats_) stats_->q_cluster_size.fetch_add(1, std::memory_order_relaxed);
-  if (cross_->min_weight() > tau)
-    return shards_[map_.home(u)]->cluster_size(u, tau);
-  std::vector<vertex_id> members;
-  collect_cluster(u, tau, members, kNoVertex);
-  return members.size();
+  return ThresholdView(alias(this), tau).cluster_size(u);
 }
 
 std::vector<vertex_id> EngineSnapshot::cluster_report(vertex_id u,
                                                       double tau) const {
-  if (stats_) stats_->q_cluster_report.fetch_add(1, std::memory_order_relaxed);
-  if (cross_->min_weight() > tau)
-    return shards_[map_.home(u)]->cluster_report(u, tau);
-  std::vector<vertex_id> members;
-  collect_cluster(u, tau, members, kNoVertex);
-  return members;
+  return ThresholdView(alias(this), tau).cluster_report(u);
 }
 
 std::vector<vertex_id> EngineSnapshot::flat_clustering(double tau) const {
-  if (stats_) stats_->q_flat_clustering.fetch_add(1, std::memory_order_relaxed);
-  if (cross_->min_weight() > tau && map_.num_shards == 1)
-    return shards_[0]->flat_clustering(tau);
-  // Components of the sub-tau edge set: per-shard tree edges (each
-  // shard's rank-sorted prefix) glued by sub-tau cross edges.
-  UnionFind uf(map_.n);
-  for (const auto& s : shards_) s->threshold_union(uf, tau);
-  for (const CrossEdgeView::Edge& e : cross_->edges()) {
-    if (e.w > tau) break;  // weight-ascending
-    uf.unite(e.u, e.v);
-  }
-  std::vector<vertex_id> label(map_.n);
-  for (vertex_id v = 0; v < map_.n; ++v) label[v] = uf.find(v);
-  return label;
+  return ThresholdView(alias(this), tau).flat_clustering();
 }
 
 }  // namespace dynsld::engine

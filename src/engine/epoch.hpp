@@ -48,11 +48,19 @@ struct ShardMap {
 
   int home(vertex_id v) const { return static_cast<int>(v / stride); }
   bool intra(vertex_id u, vertex_id v) const { return home(u) == home(v); }
+  /// Global id of shard k's local vertex 0 (shard-local vertex spaces).
+  vertex_id base(int k) const { return static_cast<vertex_id>(k) * stride; }
+  /// Size of shard k's vertex range (the last shards may be short/empty).
+  vertex_id local_size(int k) const {
+    vertex_id b = base(k);
+    if (b >= n) return 0;
+    return n - b < stride ? n - b : stride;
+  }
 };
 
 /// Immutable view of the cross-shard edge table, rebuilt on epochs whose
-/// flush touched it: alive cross edges sorted by weight plus a CSR
-/// index by endpoint.
+/// flush touched it: alive cross edges sorted by weight, so threshold
+/// consumers (ThresholdView) scan exactly the sub-tau prefix.
 class CrossEdgeView {
  public:
   struct Edge {
@@ -62,25 +70,14 @@ class CrossEdgeView {
 
   CrossEdgeView() = default;
   /// `edges` need not be sorted; the view sorts by weight.
-  explicit CrossEdgeView(std::vector<Edge> edges, vertex_id n);
+  explicit CrossEdgeView(std::vector<Edge> edges);
 
   bool empty() const { return edges_.empty(); }
   size_t size() const { return edges_.size(); }
-  double min_weight() const;
   const std::vector<Edge>& edges() const { return edges_; }
-
-  /// Visit every cross edge incident to v: f(other_endpoint, weight).
-  template <typename F>
-  void for_each_incident(vertex_id v, F&& f) const {
-    for (uint32_t i = off_[v]; i < off_[v + 1]; ++i) {
-      const Edge& e = edges_[adj_[i]];
-      f(e.u == v ? e.v : e.u, e.w);
-    }
-  }
 
  private:
   std::vector<Edge> edges_;  // weight-ascending
-  std::vector<uint32_t> off_, adj_;
 };
 
 class EngineSnapshot {
@@ -94,6 +91,10 @@ class EngineSnapshot {
   size_t num_tree_edges() const;
 
   // ---- merged §6.1 queries (exact across shards) ----
+  // Single-shot convenience wrappers: each builds a transient
+  // ThresholdView (cluster_view.hpp) over this snapshot and asks it.
+  // Batch traffic should hold a ClusterView / ThresholdView instead so
+  // the per-threshold merge resolution is paid once, not per call.
   bool same_cluster(vertex_id s, vertex_id t, double tau) const;
   uint64_t cluster_size(vertex_id u, double tau) const;
   std::vector<vertex_id> cluster_report(vertex_id u, double tau) const;
@@ -104,14 +105,13 @@ class EngineSnapshot {
   /// ids are dense positions.
   const std::vector<WeightedEdge>& captured_edges() const { return edges_; }
 
+  /// Query accounting sink shared with the publishing service (may be
+  /// null in unit contexts); views bump their counters through it.
+  const std::shared_ptr<EngineStats>& stats() const { return stats_; }
+
  private:
   friend class ShardRouter;
   EngineSnapshot() = default;
-
-  /// Cluster-of-u BFS across shard blobs and cross edges; appends
-  /// members to out. Early-exits (returns true) when `stop` is hit.
-  bool collect_cluster(vertex_id u, double tau, std::vector<vertex_id>& out,
-                       vertex_id stop) const;
 
   uint64_t epoch_ = 0;
   ShardMap map_;

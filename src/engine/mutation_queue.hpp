@@ -15,8 +15,14 @@
 // drain() hands the writer everything pending in one atomic cut. An
 // erase can therefore only reference a ticket applied by an *earlier*
 // epoch: an insert/erase pair inside one cut has already annihilated.
+//
+// The queue also keeps a (u, v) -> tickets ledger of every insertion
+// not yet erased (it survives drains), so callers can erase by
+// endpoints instead of retaining tickets; a multi-edge erases its most
+// recently inserted copy first.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <mutex>
 #include <unordered_map>
@@ -54,6 +60,9 @@ class MutationQueue {
     pending_pos_[t] = inserts_.size();
     inserts_.push_back(InsertOp{t, u, v, w});
     ++live_inserts_;
+    uint64_t k = endpoint_key(u, v);
+    by_endpoints_[k].push_back(t);
+    key_of_[t] = k;
     if (stats_) stats_->inserts_enqueued.fetch_add(1, std::memory_order_relaxed);
     return t;
   }
@@ -62,20 +71,25 @@ class MutationQueue {
   /// will reach the shards), true when it was queued for the next flush.
   bool enqueue_erase(ticket_t t) {
     std::lock_guard<std::mutex> lk(mu_);
-    if (stats_) stats_->erases_enqueued.fetch_add(1, std::memory_order_relaxed);
-    auto it = pending_pos_.find(t);
-    if (it != pending_pos_.end()) {
-      inserts_[it->second].ticket = kNoTicket;  // tombstone
-      pending_pos_.erase(it);
-      --live_inserts_;
-      if (stats_) stats_->coalesced_pairs.fetch_add(1, std::memory_order_relaxed);
+    return erase_locked(t);
+  }
+
+  /// Erase by endpoints: resolves (u, v) through the ledger to the most
+  /// recently inserted live copy of that edge and erases it. Returns
+  /// false when no live insertion of (u, v) is known.
+  bool enqueue_erase(vertex_id u, vertex_id v) {
+    std::lock_guard<std::mutex> lk(mu_);
+    auto it = by_endpoints_.find(endpoint_key(u, v));
+    if (it == by_endpoints_.end()) {
+      // Count the miss like a duplicate ticket-erase so erase traffic
+      // stays comparable across the two front-ends.
+      if (stats_) {
+        stats_->erases_enqueued.fetch_add(1, std::memory_order_relaxed);
+        stats_->duplicate_erases.fetch_add(1, std::memory_order_relaxed);
+      }
       return false;
     }
-    if (!erase_set_.insert(t).second) {
-      if (stats_) stats_->duplicate_erases.fetch_add(1, std::memory_order_relaxed);
-      return false;
-    }
-    erases_.push_back(t);
+    erase_locked(it->second.back());
     return true;
   }
 
@@ -101,12 +115,50 @@ class MutationQueue {
   }
 
  private:
+  static uint64_t endpoint_key(vertex_id u, vertex_id v) {
+    if (u > v) std::swap(u, v);
+    return (static_cast<uint64_t>(u) << 32) | v;
+  }
+
+  bool erase_locked(ticket_t t) {
+    if (stats_) stats_->erases_enqueued.fetch_add(1, std::memory_order_relaxed);
+    drop_from_ledger(t);
+    auto it = pending_pos_.find(t);
+    if (it != pending_pos_.end()) {
+      inserts_[it->second].ticket = kNoTicket;  // tombstone
+      pending_pos_.erase(it);
+      --live_inserts_;
+      if (stats_) stats_->coalesced_pairs.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    if (!erase_set_.insert(t).second) {
+      if (stats_) stats_->duplicate_erases.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    erases_.push_back(t);
+    return true;
+  }
+
+  void drop_from_ledger(ticket_t t) {
+    auto it = key_of_.find(t);
+    if (it == key_of_.end()) return;
+    auto bucket = by_endpoints_.find(it->second);
+    auto& tickets = bucket->second;
+    tickets.erase(std::find(tickets.begin(), tickets.end(), t));
+    if (tickets.empty()) by_endpoints_.erase(bucket);
+    key_of_.erase(it);
+  }
+
   mutable std::mutex mu_;
   ticket_t next_ticket_ = 0;
   std::vector<InsertOp> inserts_;
   std::unordered_map<ticket_t, size_t> pending_pos_;
   std::vector<ticket_t> erases_;
   std::unordered_set<ticket_t> erase_set_;
+  // Endpoint ledger: live (not yet erased) insertions by normalized
+  // (u, v); survives drain() so applied edges stay resolvable.
+  std::unordered_map<uint64_t, std::vector<ticket_t>> by_endpoints_;
+  std::unordered_map<ticket_t, uint64_t> key_of_;
   size_t live_inserts_ = 0;
   EngineStats* stats_;
 };

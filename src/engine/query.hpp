@@ -1,0 +1,79 @@
+// Typed batch query surface of the read plane (§6.1 query set).
+//
+// A Query is one request struct per §6.1 query kind, closed over its
+// threshold tau, wrapped in a std::variant. ClusterView::run() groups a
+// batch by tau, resolves one ThresholdView per distinct threshold, and
+// executes the groups in parallel — so the per-threshold merge work
+// (cross-shard union-find + per-shard root resolution) is paid once per
+// tau per epoch, no matter how many queries share it.
+//
+// QueryResult mirrors the request kinds positionally: bool for
+// SameCluster, uint64_t for ClusterSize, std::vector<vertex_id> for
+// ClusterReport and FlatClustering (member list / label array), and
+// SizeHistogram for the histogram request.
+#pragma once
+
+#include <cstdint>
+#include <variant>
+#include <vector>
+
+#include "graph/types.hpp"
+
+namespace dynsld::engine {
+
+/// Are u and v in one cluster at threshold tau?
+struct SameClusterQuery {
+  vertex_id u, v;
+  double tau;
+};
+
+/// Vertex count of u's cluster at threshold tau.
+struct ClusterSizeQuery {
+  vertex_id u;
+  double tau;
+};
+
+/// All members of u's cluster at threshold tau.
+struct ClusterReportQuery {
+  vertex_id u;
+  double tau;
+};
+
+/// Label array over all vertices; labels are member vertices, equal
+/// within a cluster and arbitrary otherwise.
+struct FlatClusteringQuery {
+  double tau;
+};
+
+/// Distribution of cluster sizes at threshold tau (singletons included).
+struct SizeHistogramQuery {
+  double tau;
+};
+
+using Query = std::variant<SameClusterQuery, ClusterSizeQuery,
+                           ClusterReportQuery, FlatClusteringQuery,
+                           SizeHistogramQuery>;
+
+/// Cluster-size histogram: (size, number of clusters of that size),
+/// size-ascending.
+struct SizeHistogram {
+  std::vector<std::pair<uint64_t, uint64_t>> bins;
+
+  uint64_t num_clusters() const {
+    uint64_t k = 0;
+    for (const auto& [size, count] : bins) k += count;
+    return k;
+  }
+
+  friend bool operator==(const SizeHistogram&, const SizeHistogram&) = default;
+};
+
+using QueryResult =
+    std::variant<bool, uint64_t, std::vector<vertex_id>, SizeHistogram>;
+
+/// The threshold a query closes over (the batch grouping key).
+inline double query_tau(const Query& q) {
+  return std::visit([](const auto& req) { return req.tau; }, q);
+}
+
+}  // namespace dynsld::engine

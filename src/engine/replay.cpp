@@ -119,19 +119,32 @@ ReplayReport replay(const Trace& trace, SldService& svc,
     readers.emplace_back([&, r] {
       par::Rng rng(opt.query_seed + 7919 * (r + 1));
       uint64_t local = 0;
+      // One query-mix loop for both read paths; `target` yields the
+      // ThresholdView to query — reused per epoch (amortized mode) or
+      // built fresh per call, which is exactly what the snapshot
+      // conveniences do internally.
+      std::shared_ptr<const ThresholdView> tv;
+      auto target = [&]() -> std::shared_ptr<const ThresholdView> {
+        if (opt.amortize_views) {
+          if (!tv || svc.epoch() != tv->epoch())
+            tv = svc.view().at(opt.tau);
+          return tv;
+        }
+        return std::make_shared<const ThresholdView>(svc.snapshot(), opt.tau);
+      };
       while (!done.load(std::memory_order_relaxed)) {
-        auto snap = svc.snapshot();
+        auto t = target();
         vertex_id u = rng.next_bounded(trace.num_vertices);
         vertex_id v = rng.next_bounded(trace.num_vertices);
         switch (rng.next_bounded(3)) {
           case 0:
-            snap->same_cluster(u, v, opt.tau);
+            t->same_cluster(u, v);
             break;
           case 1:
-            snap->cluster_size(u, opt.tau);
+            t->cluster_size(u);
             break;
           default:
-            snap->flat_clustering(opt.tau);
+            t->flat_clustering();
             break;
         }
         ++local;

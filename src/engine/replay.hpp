@@ -50,6 +50,10 @@ struct ReplayOptions {
   double tau = 0.5;          // threshold the readers query at
   size_t ops_per_flush = 64; // writer flushes every this many trace ops
   uint64_t query_seed = 1;
+  /// Readers hold a ThresholdView per epoch and query it (the amortized
+  /// read path); false re-resolves per call through the snapshot
+  /// conveniences (the PR 1 behavior, kept for A/B benchmarking).
+  bool amortize_views = true;
 };
 
 struct ReplayReport {

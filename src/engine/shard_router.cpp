@@ -11,10 +11,16 @@ ShardRouter::ShardRouter(vertex_id n, int num_shards, SpineIndex index,
                          std::shared_ptr<EngineStats> stats)
     : map_(ShardMap::make(n, num_shards)), stats_(std::move(stats)) {
   shards_.reserve(map_.num_shards);
-  for (int k = 0; k < map_.num_shards; ++k)
-    shards_.push_back(std::make_unique<DynamicClustering>(n, index));
+  for (int k = 0; k < map_.num_shards; ++k) {
+    // Shard-local vertex space: size each clustering to the shard's own
+    // range (min 1 — trailing shards can own an empty range and never
+    // receive edges, but the structures want n >= 1).
+    vertex_id local_n = map_.local_size(k);
+    shards_.push_back(
+        std::make_unique<DynamicClustering>(local_n ? local_n : 1, index));
+  }
   dirty_.assign(map_.num_shards, 0);
-  cross_view_ = std::make_shared<CrossEdgeView>(std::vector<CrossEdgeView::Edge>{}, n);
+  cross_view_ = std::make_shared<CrossEdgeView>(std::vector<CrossEdgeView::Edge>{});
 }
 
 void ShardRouter::apply(const MutationQueue::Drained& batch) {
@@ -49,7 +55,8 @@ void ShardRouter::apply(const MutationQueue::Drained& batch) {
   for (const MutationQueue::InsertOp& op : batch.inserts) {
     if (map_.intra(op.u, op.v)) {
       int k = map_.home(op.u);
-      shard_inserts[k].push_back({op.u, op.v, op.w});
+      vertex_id base = map_.base(k);
+      shard_inserts[k].push_back({op.u - base, op.v - base, op.w});
       shard_insert_tickets[k].push_back(op.ticket);
       dirty_[k] = 1;
     } else {
@@ -109,7 +116,8 @@ std::shared_ptr<const EngineSnapshot> ShardRouter::build_snapshot(
         if (prev && !dirty_[k]) {
           snap->shards_[k] = prev->shards_[k];
         } else {
-          snap->shards_[k] = DendrogramSnapshot::build(shards_[k]->sld());
+          snap->shards_[k] = DendrogramSnapshot::build(
+              shards_[k]->sld(), map_.base(static_cast<int>(k)));
         }
       },
       /*grain=*/1);
@@ -124,16 +132,17 @@ std::shared_ptr<const EngineSnapshot> ShardRouter::build_snapshot(
     for (const CrossSlot& s : cross_) {
       if (s.alive) alive.push_back({s.u, s.v, s.w});
     }
-    cross_view_ = std::make_shared<CrossEdgeView>(std::move(alive), map_.n);
+    cross_view_ = std::make_shared<CrossEdgeView>(std::move(alive));
     cross_dirty_ = false;
   }
   snap->cross_ = cross_view_;
 
   if (capture_edges) {
-    for (const auto& sh : shards_) {
-      for (const WeightedEdge& e : sh->all_edges()) {
+    for (size_t k = 0; k < shards_.size(); ++k) {
+      vertex_id base = map_.base(static_cast<int>(k));
+      for (const WeightedEdge& e : shards_[k]->all_edges()) {
         snap->edges_.push_back(
-            WeightedEdge{e.u, e.v, e.weight,
+            WeightedEdge{e.u + base, e.v + base, e.weight,
                          static_cast<edge_id>(snap->edges_.size())});
       }
     }

@@ -15,12 +15,12 @@
 // insertion landed (shard handle or cross slot), so later erases route
 // to the right place by ticket alone.
 //
-// Known trade-off: every shard's DynamicClustering spans the full
-// global vertex id space (a shard's foreign vertices just stay
-// isolated), which multiplies per-vertex memory by the shard count and
-// makes a dirty shard's snapshot rebuild O(n) rather than O(n/K).
-// Contiguous vertex ranges make a local-id remapping at this boundary
-// straightforward; see ROADMAP (shard-local vertex spaces).
+// Shard-local vertex spaces: ranges are contiguous, so shard k's
+// DynamicClustering spans only its own range remapped to [0,
+// local_size(k)) — global ids are translated by base(k) on the way in
+// (apply) and back out at the snapshot boundary (DendrogramSnapshot
+// carries the base). Per-shard memory and a dirty shard's snapshot
+// rebuild are O(n/K), not O(n).
 #pragma once
 
 #include <cstdint>
@@ -41,7 +41,6 @@ class ShardRouter {
 
   const ShardMap& shard_map() const { return map_; }
   int num_shards() const { return map_.num_shards; }
-  DynamicClustering& shard(int k) { return *shards_[k]; }
 
   /// Apply one drained batch: route, group by shard, apply erases then
   /// inserts per shard (in parallel across shards). Not thread-safe —

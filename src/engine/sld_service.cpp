@@ -36,6 +36,12 @@ void SldService::erase(ticket_t t) {
   nudge_writer();
 }
 
+bool SldService::erase(vertex_id u, vertex_id v) {
+  bool found = queue_.enqueue_erase(u, v);
+  if (found) nudge_writer();
+  return found;
+}
+
 uint64_t SldService::flush() {
   std::lock_guard<std::mutex> lk(flush_mu_);
   MutationQueue::Drained batch = queue_.drain();

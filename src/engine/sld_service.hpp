@@ -4,11 +4,11 @@
 //
 //   writer side                          reader side
 //   -----------                          -----------
-//   insert()/erase() -> MutationQueue    snapshot() -> EngineSnapshot
-//        | drain (coalesced)                  ^  (epoch-consistent,
-//        v                                    |   lock-free queries)
+//   insert()/erase() -> MutationQueue    view() -> ClusterView.at(tau)
+//        | drain (coalesced)                  ^      -> ThresholdView
+//        v                                    |  (epoch-consistent,
 //   ShardRouter::apply  ------ publish ----> EpochManager
-//   (per-shard batches, Thm 1.1/1.2/1.5)
+//   (per-shard batches, Thm 1.1/1.2/1.5)        lock-free queries)
 //
 // Mutations are cheap enqueues returning a ticket; a flush (caller-
 // driven via flush(), or the background writer thread) drains the
@@ -24,10 +24,13 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <thread>
 
+#include "engine/cluster_view.hpp"
 #include "engine/epoch.hpp"
 #include "engine/mutation_queue.hpp"
+#include "engine/query.hpp"
 #include "engine/shard_router.hpp"
 #include "engine/stats.hpp"
 
@@ -63,6 +66,11 @@ class SldService {
   /// annihilates in the queue and never reaches the shards.
   void erase(ticket_t t);
 
+  /// Erase by endpoints: resolves (u, v) to its most recently inserted
+  /// live copy through the queue's endpoint ledger, so callers need not
+  /// retain tickets. Returns false when no live (u, v) edge is known.
+  bool erase(vertex_id u, vertex_id v);
+
   /// Synchronously drain + apply + publish. Returns the epoch readers
   /// now see (unchanged when nothing was pending). Safe to call
   /// concurrently with the background writer and with readers.
@@ -79,7 +87,22 @@ class SldService {
   /// read view.
   EpochManager::Snap snapshot() const { return epochs_.acquire(); }
 
-  /// Convenience single-shot queries against the current epoch.
+  /// Pin the current epoch as a ClusterView: the full query surface,
+  /// with per-threshold merge resolution cached across calls. This is
+  /// the primary read API; view().at(tau) amortizes all tau-dependent
+  /// work over every query at that threshold.
+  ClusterView view() const { return ClusterView(epochs_.acquire()); }
+
+  /// Execute a typed query batch against the current epoch (one
+  /// transient view: grouped by tau, resolved once per threshold, run
+  /// in parallel). results[i] answers queries[i].
+  std::vector<QueryResult> run(std::span<const Query> queries) const {
+    return view().run(queries);
+  }
+
+  /// Convenience single-shot queries against the current epoch — thin
+  /// one-query wrappers over a transient view; batch traffic should use
+  /// view()/run() so the merge resolution amortizes.
   bool same_cluster(vertex_id s, vertex_id t, double tau) const;
   uint64_t cluster_size(vertex_id u, double tau) const;
   std::vector<vertex_id> cluster_report(vertex_id u, double tau) const;

@@ -7,11 +7,12 @@
 namespace dynsld::engine {
 
 std::shared_ptr<const DendrogramSnapshot> DendrogramSnapshot::build(
-    const DynSLD& sld) {
+    const DynSLD& sld, vertex_id base) {
   auto snap = std::shared_ptr<DendrogramSnapshot>(new DendrogramSnapshot());
   DendrogramSnapshot& s = *snap;
   const Dendrogram& d = sld.dendrogram();
   s.n_ = sld.num_vertices();
+  s.base_ = base;
 
   // Collect alive nodes and renumber in ascending rank order.
   std::vector<edge_id> ids;
@@ -31,8 +32,8 @@ std::shared_ptr<const DendrogramSnapshot> DendrogramSnapshot::build(
   s.parent_.resize(m);
   for (size_t i = 0; i < m; ++i) {
     const Dendrogram::Node& nd = d.node(ids[i]);
-    s.u_[i] = nd.u;
-    s.v_[i] = nd.v;
+    s.u_[i] = nd.u + base;
+    s.v_[i] = nd.v + base;
     s.weight_[i] = nd.weight;
     s.parent_[i] = nd.parent == kNoEdge ? kNoSlot : slot_of[nd.parent];
     assert(s.parent_[i] == kNoSlot || s.parent_[i] > static_cast<int32_t>(i));
@@ -96,7 +97,7 @@ std::shared_ptr<const DendrogramSnapshot> DendrogramSnapshot::build(
 }
 
 int32_t DendrogramSnapshot::top_of(vertex_id v, double tau) const {
-  int32_t x = leaf_parent_[v];
+  int32_t x = leaf_parent_[v - base_];
   if (x == kNoSlot || weight_[x] > tau) return kNoSlot;
   for (int k = levels_ - 1; k >= 0; --k) {
     int32_t a = up(k, x);
@@ -124,7 +125,7 @@ void DendrogramSnapshot::members_of(int32_t top,
     int32_t x = stack.back();
     stack.pop_back();
     for (uint32_t i = leaf_off_[x]; i < leaf_off_[x + 1]; ++i)
-      out.push_back(leaf_list_[i]);
+      out.push_back(leaf_list_[i] + base_);
     for (uint32_t i = child_off_[x]; i < child_off_[x + 1]; ++i)
       stack.push_back(static_cast<int32_t>(child_list_[i]));
   }
@@ -145,8 +146,8 @@ std::vector<vertex_id> DendrogramSnapshot::flat_clustering(double tau) const {
   // endpoint (itself a member) is a consistent label.
   std::vector<vertex_id> label(n_);
   for (vertex_id v = 0; v < n_; ++v) {
-    int32_t top = top_of(v, tau);
-    label[v] = top == kNoSlot ? v : u_[top];
+    int32_t top = top_of(v + base_, tau);
+    label[v] = top == kNoSlot ? v + base_ : u_[top];
   }
   return label;
 }

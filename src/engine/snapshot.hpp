@@ -19,6 +19,12 @@
 // method is const and safe from any number of threads. Readers hold the
 // snapshot via shared_ptr, which doubles as the epoch reclamation
 // scheme: a superseded snapshot is freed when its last reader drops it.
+//
+// Shard-local vertex spaces: a sharded backend keeps each shard's
+// DynamicClustering over local ids [0, stride). The snapshot is built
+// with the shard's `base` offset and translates at the boundary — every
+// public method takes and returns *global* vertex ids, while the
+// internal leaf arrays stay sized to the shard's local range.
 #pragma once
 
 #include <cstdint>
@@ -37,10 +43,15 @@ class DendrogramSnapshot {
 
   /// Freeze the current dendrogram of `sld`. Uses only const accessors;
   /// the caller guarantees no concurrent mutation during the build
-  /// (the engine builds under its writer lock).
-  static std::shared_ptr<const DendrogramSnapshot> build(const DynSLD& sld);
+  /// (the engine builds under its writer lock). `base` is the global id
+  /// of the sld's local vertex 0 (shard-local vertex spaces).
+  static std::shared_ptr<const DendrogramSnapshot> build(const DynSLD& sld,
+                                                         vertex_id base = 0);
 
+  /// Local vertex count (the shard's range size, not the global n).
   vertex_id num_vertices() const { return n_; }
+  /// Global id of local vertex 0.
+  vertex_id base() const { return base_; }
   size_t num_nodes() const { return weight_.size(); }
 
   /// Dense slot of the top cluster node of v at threshold tau, or
@@ -59,8 +70,8 @@ class DendrogramSnapshot {
   /// §6.1 cluster report. O(log h + |cluster|).
   std::vector<vertex_id> cluster_report(vertex_id u, double tau) const;
 
-  /// §6.1 flat clustering; labels are member vertices of the cluster.
-  /// O(n log h).
+  /// §6.1 flat clustering over the local vertex range; label[i] is a
+  /// member vertex (global id) of local vertex i's cluster. O(n log h).
   std::vector<vertex_id> flat_clustering(double tau) const;
 
   /// Unite every tree edge of weight <= tau into the caller's
@@ -68,15 +79,18 @@ class DendrogramSnapshot {
   /// this scans a prefix and stops. O(|{e : w_e <= tau}|).
   void threshold_union(UnionFind& uf, double tau) const;
 
-  /// Endpoints/weight of a dense slot (merged-query plumbing).
+  /// Endpoints/weight/vertex-count of a dense slot (merged-query
+  /// plumbing; endpoints are global ids).
   vertex_id slot_u(int32_t s) const { return u_[s]; }
   vertex_id slot_v(int32_t s) const { return v_[s]; }
   double slot_weight(int32_t s) const { return weight_[s]; }
+  uint64_t slot_count(int32_t s) const { return count_[s]; }
 
  private:
   DendrogramSnapshot() = default;
 
   vertex_id n_ = 0;
+  vertex_id base_ = 0;
   // Per dense slot, ascending rank order.
   std::vector<vertex_id> u_, v_;
   std::vector<double> weight_;

@@ -34,17 +34,24 @@ struct EngineStats {
   std::atomic<uint64_t> q_cluster_size{0};
   std::atomic<uint64_t> q_cluster_report{0};
   std::atomic<uint64_t> q_flat_clustering{0};
+  std::atomic<uint64_t> q_size_histogram{0};
+  // -- view plane --
+  std::atomic<uint64_t> views_built{0};       // ThresholdView resolutions
+  std::atomic<uint64_t> cross_uf_builds{0};   // cross-shard union-find builds
+  std::atomic<uint64_t> batch_runs{0};        // ClusterView::run calls
+  std::atomic<uint64_t> batch_queries{0};     // queries executed via run()
 
   struct Report {
     uint64_t inserts_enqueued, erases_enqueued, coalesced_pairs,
         duplicate_erases, invalid_erases, flushes, ops_applied, max_batch,
         shard_batches, cross_ops, epochs_published, snapshot_build_ns,
         shard_snapshots_built, shard_snapshots_reused, q_same_cluster,
-        q_cluster_size, q_cluster_report, q_flat_clustering;
+        q_cluster_size, q_cluster_report, q_flat_clustering, q_size_histogram,
+        views_built, cross_uf_builds, batch_runs, batch_queries;
 
     uint64_t queries() const {
       return q_same_cluster + q_cluster_size + q_cluster_report +
-             q_flat_clustering;
+             q_flat_clustering + q_size_histogram;
     }
     double avg_batch() const {
       return flushes ? static_cast<double>(ops_applied) / flushes : 0.0;
@@ -61,7 +68,8 @@ struct EngineStats {
                   r(epochs_published), r(snapshot_build_ns),
                   r(shard_snapshots_built), r(shard_snapshots_reused),
                   r(q_same_cluster), r(q_cluster_size), r(q_cluster_report),
-                  r(q_flat_clustering)};
+                  r(q_flat_clustering), r(q_size_histogram), r(views_built),
+                  r(cross_uf_builds), r(batch_runs), r(batch_queries)};
   }
 
   void bump_max_batch(uint64_t sz) {
@@ -76,7 +84,8 @@ inline void print_report(const EngineStats::Report& r, std::FILE* out = stdout) 
   std::fprintf(out,
                "engine stats: enq %llu+/%llu-  coalesced %llu  flushes %llu "
                "(avg batch %.1f, max %llu)  epochs %llu  snapshots %llu built "
-               "/ %llu reused (%.2f ms total)  queries %llu  cross ops %llu\n",
+               "/ %llu reused (%.2f ms total)  queries %llu  cross ops %llu  "
+               "views %llu (%llu cross-uf)  batches %llu (%llu queries)\n",
                (unsigned long long)r.inserts_enqueued,
                (unsigned long long)r.erases_enqueued,
                (unsigned long long)r.coalesced_pairs,
@@ -86,7 +95,11 @@ inline void print_report(const EngineStats::Report& r, std::FILE* out = stdout) 
                (unsigned long long)r.shard_snapshots_built,
                (unsigned long long)r.shard_snapshots_reused,
                r.snapshot_build_ns / 1e6, (unsigned long long)r.queries(),
-               (unsigned long long)r.cross_ops);
+               (unsigned long long)r.cross_ops,
+               (unsigned long long)r.views_built,
+               (unsigned long long)r.cross_uf_builds,
+               (unsigned long long)r.batch_runs,
+               (unsigned long long)r.batch_queries);
 }
 
 }  // namespace dynsld::engine

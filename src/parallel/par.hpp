@@ -17,16 +17,10 @@ inline int num_workers() { return Scheduler::instance().num_workers(); }
 /// Resize the global pool (call only between parallel computations).
 inline void set_num_workers(int p) { Scheduler::instance().set_num_workers(p); }
 
-/// Run f1 and f2 as a binary fork: f2 is made stealable while the caller
-/// runs f1. Equivalent to `f1(); f2();` on a 1-worker pool.
+namespace internal {
+
 template <typename F1, typename F2>
-void par_do(F1&& f1, F2&& f2) {
-  Scheduler& sched = Scheduler::instance();
-  if (!sched.should_fork()) {
-    f1();
-    f2();
-    return;
-  }
+void fork_join(Scheduler& sched, F1&& f1, F2&& f2) {
   using F2D = std::remove_reference_t<F2>;
   Job job;
   job.arg = static_cast<void*>(std::addressof(f2));
@@ -38,6 +32,39 @@ void par_do(F1&& f1, F2&& f2) {
   } else {
     sched.wait(&job);
   }
+}
+
+}  // namespace internal
+
+/// Run f1 and f2 as a binary fork: f2 is made stealable while the caller
+/// runs f1. Equivalent to `f1(); f2();` on a 1-worker pool. Safe to call
+/// from any thread: a foreign (non-pool) thread claims the external-entry
+/// slot for its outermost fork-join, and when another foreign thread
+/// already holds it the computation runs sequentially instead.
+template <typename F1, typename F2>
+void par_do(F1&& f1, F2&& f2) {
+  Scheduler& sched = Scheduler::instance();
+  if (!sched.should_fork()) {
+    f1();
+    f2();
+    return;
+  }
+  if (!sched.in_pool()) {
+    if (!sched.try_enter_external()) {
+      f1();
+      f2();
+      return;
+    }
+    // Scope guard: an exception out of the fork must still release the
+    // entry slot, or every later foreign entry degrades to sequential.
+    struct ExitGuard {
+      Scheduler& s;
+      ~ExitGuard() { s.exit_external(); }
+    } guard{sched};
+    internal::fork_join(sched, f1, f2);
+    return;
+  }
+  internal::fork_join(sched, f1, f2);
 }
 
 namespace internal {

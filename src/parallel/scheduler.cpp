@@ -1,5 +1,6 @@
 #include "parallel/scheduler.hpp"
 
+#include <cassert>
 #include <cstdlib>
 #include <mutex>
 #include <random>
@@ -85,15 +86,37 @@ void Scheduler::stop_threads() {
 }
 
 int Scheduler::register_external_thread() {
-  // The single external entry thread adopts worker slot 0.
+  // Direct push() from an unclaimed foreign thread (no par_do gate):
+  // adopt worker slot 0 as before. par_do-driven entry goes through
+  // try_enter_external() instead, which serializes foreign threads.
   tls_worker_id = 0;
   return 0;
+}
+
+bool Scheduler::try_enter_external() {
+  bool expected = false;
+  if (!external_busy_.compare_exchange_strong(expected, true,
+                                              std::memory_order_acquire)) {
+    return false;
+  }
+  tls_worker_id = 0;
+  return true;
+}
+
+void Scheduler::exit_external() {
+  tls_worker_id = -1;
+  external_busy_.store(false, std::memory_order_release);
 }
 
 int Scheduler::current_worker() const { return tls_worker_id; }
 
 void Scheduler::push(Job* job) {
   int id = current_worker();
+  // Foreign threads must come through par_do's try_enter_external()
+  // gate; a direct push from an unclaimed thread would share deque 0
+  // with a legitimate claimant. The registration fallback stays as a
+  // release-mode safety net for legacy callers.
+  assert(id >= 0 && "foreign threads enter the pool via par_do");
   if (id < 0) id = register_external_thread();
   queues_[static_cast<size_t>(id)]->push_bottom(job);
 }

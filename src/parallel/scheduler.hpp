@@ -35,8 +35,12 @@ struct Job {
 };
 
 /// Singleton work-stealing pool. Thread-safe for use by its own workers;
-/// external entry is supported from one thread at a time (the usual
-/// fork-join discipline: a single computation entered from `main`).
+/// external entry is serialized by a claim gate: one foreign thread at a
+/// time adopts worker slot 0 for the duration of its outermost fork-join
+/// computation, and a concurrent foreign entry simply runs its
+/// computation sequentially instead of forking (par_do handles this, so
+/// callers — e.g. the engine's query plane fanning out a batch while the
+/// writer flushes — never need to coordinate).
 class Scheduler {
  public:
   /// Global instance; created on first use with num_workers() threads
@@ -54,6 +58,19 @@ class Scheduler {
 
   /// True when the current thread should fork (pool has >1 worker).
   bool should_fork() const { return num_workers_ > 1; }
+
+  /// Is the current thread already inside the pool (a worker thread, or
+  /// a foreign thread that has claimed the external-entry slot)?
+  bool in_pool() const { return current_worker() >= 0; }
+
+  /// Claim the external-entry slot (worker slot 0) for this foreign
+  /// thread. Returns false when another foreign thread holds it — the
+  /// caller must then run its computation sequentially.
+  bool try_enter_external();
+
+  /// Release the slot claimed by try_enter_external(); must be called
+  /// by the same thread after its outermost fork-join returns.
+  void exit_external();
 
   /// Push a job onto the current thread's deque (registering the thread
   /// as worker 0 if it is the external entry thread).
@@ -80,6 +97,7 @@ class Scheduler {
 
   int num_workers_ = 1;
   std::atomic<bool> stop_{false};
+  std::atomic<bool> external_busy_{false};
   std::vector<std::unique_ptr<WorkerQueue>> queues_;
   std::vector<std::thread> threads_;
 };

@@ -13,7 +13,9 @@
 #include <vector>
 
 #include "dendrogram/static_sld.hpp"
+#include "engine/cluster_view.hpp"
 #include "engine/mutation_queue.hpp"
+#include "engine/query.hpp"
 #include "engine/replay.hpp"
 #include "engine/sld_service.hpp"
 #include "engine/snapshot.hpp"
@@ -76,6 +78,16 @@ uint64_t ref_cluster_size(const std::vector<vertex_id>& label, vertex_id u) {
   uint64_t k = 0;
   for (vertex_id l : label) k += l == label[u];
   return k;
+}
+
+SizeHistogram ref_histogram(const std::vector<vertex_id>& label) {
+  std::map<vertex_id, uint64_t> csize;
+  for (vertex_id l : label) ++csize[l];
+  std::map<uint64_t, uint64_t> hist;
+  for (const auto& [l, s] : csize) ++hist[s];
+  SizeHistogram out;
+  out.bins.assign(hist.begin(), hist.end());
+  return out;
 }
 
 TEST(DendrogramSnapshot, MatchesLiveQueriesOnRandomForest) {
@@ -347,6 +359,249 @@ TEST(SldService, StressReadersVsWriterMatchKruskalReference) {
   EXPECT_GT(checks.load(), 0u);
   auto r = svc.stats();
   EXPECT_GE(r.epochs_published, 60u);
+}
+
+/// Randomized typed query batches on a multi-shard service, including
+/// duplicate-tau grouping, cross-checked against the per-epoch Kruskal
+/// reference. Vertex n-1 stays edge-free so singleton clusters are
+/// always part of the mix.
+TEST(ClusterView, BatchMatchesReferenceOnShardedService) {
+  const vertex_id n = 61;  // vertex 60 never touched: permanent singleton
+  ServiceConfig cfg;
+  cfg.num_vertices = n;
+  cfg.num_shards = 3;
+  cfg.capture_edges = true;
+  SldService svc(cfg);
+  par::Rng rng(314);
+  std::vector<ticket_t> live;
+  for (int step = 0; step < 360; ++step) {
+    if (!live.empty() && rng.next_double() < 0.3) {
+      size_t j = rng.next_bounded(live.size());
+      svc.erase(live[j]);
+      live[j] = live.back();
+      live.pop_back();
+    } else {
+      vertex_id u = rng.next_bounded(n - 1), v;
+      do {
+        v = rng.next_bounded(n - 1);
+      } while (v == u);
+      live.push_back(svc.insert(u, v, rng.next_double()));
+    }
+    if (step % 60 != 59) continue;
+    svc.flush();
+    ClusterView view = svc.view();
+    const auto& captured = view.snapshot().captured_edges();
+
+    // Mixed batch over duplicate taus (three distinct thresholds).
+    const std::vector<double> taus = {0.25, 0.6, 0.6, 0.9, 0.25, 0.6};
+    std::vector<Query> batch;
+    std::map<double, std::vector<vertex_id>> ref;
+    for (double tau : taus) {
+      if (!ref.count(tau)) ref[tau] = reference_labels(n, captured, tau);
+      vertex_id u = rng.next_bounded(n), v = rng.next_bounded(n);
+      batch.push_back(SameClusterQuery{u, v, tau});
+      batch.push_back(ClusterSizeQuery{u, tau});
+      batch.push_back(ClusterReportQuery{60, tau});  // singleton report
+      batch.push_back(ClusterReportQuery{v, tau});
+      batch.push_back(FlatClusteringQuery{tau});
+      batch.push_back(SizeHistogramQuery{tau});
+    }
+    uint64_t views_before = svc.stats().views_built;
+    std::vector<QueryResult> results = view.run(batch);
+    // Duplicate taus share one resolution: three distinct thresholds,
+    // three ThresholdView builds.
+    EXPECT_EQ(svc.stats().views_built - views_before, 3u);
+
+    ASSERT_EQ(results.size(), batch.size());
+    size_t i = 0;
+    for (double tau : taus) {
+      const auto& labels = ref[tau];
+      const auto& sc = std::get<SameClusterQuery>(batch[i]);
+      EXPECT_EQ(std::get<bool>(results[i]),
+                labels[sc.u] == labels[sc.v])
+          << "tau=" << tau;
+      ++i;
+      const auto& cs = std::get<ClusterSizeQuery>(batch[i]);
+      EXPECT_EQ(std::get<uint64_t>(results[i]), ref_cluster_size(labels, cs.u));
+      ++i;
+      auto singleton = std::get<std::vector<vertex_id>>(results[i]);
+      EXPECT_EQ(singleton, std::vector<vertex_id>{60});
+      ++i;
+      const auto& cr = std::get<ClusterReportQuery>(batch[i]);
+      auto members = std::get<std::vector<vertex_id>>(results[i]);
+      EXPECT_EQ(members.size(), ref_cluster_size(labels, cr.u));
+      bool contains_u = false;
+      for (vertex_id m : members) {
+        EXPECT_EQ(labels[m], labels[cr.u]);
+        contains_u |= m == cr.u;
+      }
+      EXPECT_TRUE(contains_u);
+      ++i;
+      expect_same_partition(labels,
+                            std::get<std::vector<vertex_id>>(results[i]));
+      ++i;
+      EXPECT_EQ(std::get<SizeHistogram>(results[i]), ref_histogram(labels));
+      ++i;
+    }
+  }
+  EXPECT_GT(svc.stats().cross_ops, 0u);
+  EXPECT_GT(svc.stats().batch_runs, 0u);
+}
+
+/// Acceptance: N mixed queries at one tau through a ThresholdView cost
+/// exactly one cross-shard union-find build, and at() memoizes.
+TEST(ClusterView, ThresholdViewResolvesCrossMergeOnce) {
+  const vertex_id n = 40;  // 2 shards, stride 20
+  ServiceConfig cfg;
+  cfg.num_vertices = n;
+  cfg.num_shards = 2;
+  SldService svc(cfg);
+  par::Rng rng(77);
+  for (int i = 0; i < 60; ++i) {  // intra edges in both shards
+    vertex_id base = (i % 2) * 20;
+    vertex_id u = base + rng.next_bounded(20), v;
+    do {
+      v = base + rng.next_bounded(20);
+    } while (v == u);
+    svc.insert(u, v, rng.next_double() * 0.5);
+  }
+  for (int i = 0; i < 10; ++i)  // sub-tau cross edges
+    svc.insert(rng.next_bounded(20), 20 + rng.next_bounded(20),
+               0.1 + 0.4 * rng.next_double());
+  svc.flush();
+
+  ClusterView view = svc.view();
+  uint64_t uf_before = svc.stats().cross_uf_builds;
+  auto tv = view.at(0.6);
+  for (int q = 0; q < 200; ++q) {
+    vertex_id u = rng.next_bounded(n), v = rng.next_bounded(n);
+    tv->same_cluster(u, v);
+    tv->cluster_size(u);
+    if (q % 20 == 0) {
+      tv->cluster_report(v);
+      tv->flat_clustering();
+    }
+  }
+  EXPECT_EQ(svc.stats().cross_uf_builds - uf_before, 1u);
+  EXPECT_GT(tv->num_cross_groups(), 0u);
+  EXPECT_EQ(view.at(0.6).get(), tv.get());  // memoized, same resolution
+
+  // The per-call conveniences pay one resolution per call — the view
+  // plane's amortization is real, not bookkeeping.
+  uf_before = svc.stats().cross_uf_builds;
+  auto snap = svc.snapshot();
+  snap->same_cluster(0, 21, 0.6);
+  snap->cluster_size(0, 0.6);
+  EXPECT_EQ(svc.stats().cross_uf_builds - uf_before, 2u);
+}
+
+/// Epoch-0 views: everything is a singleton; the batch API still
+/// answers coherently (empty service, no cross edges, no tree edges).
+TEST(ClusterView, EpochZeroAllSingletons) {
+  const vertex_id n = 12;
+  ServiceConfig cfg;
+  cfg.num_vertices = n;
+  cfg.num_shards = 4;
+  SldService svc(cfg);
+  ClusterView view = svc.view();
+  EXPECT_EQ(view.epoch(), 0u);
+  auto tv = view.at(0.5);
+  EXPECT_TRUE(tv->same_cluster(3, 3));
+  EXPECT_FALSE(tv->same_cluster(3, 4));
+  EXPECT_EQ(tv->cluster_size(7), 1u);
+  EXPECT_EQ(tv->cluster_report(7), std::vector<vertex_id>{7});
+  auto labels = tv->flat_clustering();
+  ASSERT_EQ(labels.size(), n);
+  for (vertex_id v = 0; v < n; ++v) EXPECT_EQ(labels[v], v);
+  SizeHistogram h = tv->size_histogram();
+  ASSERT_EQ(h.bins.size(), 1u);
+  EXPECT_EQ(h.bins[0], (std::pair<uint64_t, uint64_t>{1, n}));
+  EXPECT_EQ(h.num_clusters(), n);
+}
+
+/// Erase-by-endpoints: the queue's (u, v) ledger resolves tickets for
+/// callers that don't retain them — pre-flush (annihilation), across
+/// flushes, reversed endpoints, multi-edges, and unknown pairs.
+TEST(SldService, EraseByEndpoints) {
+  ServiceConfig cfg;
+  cfg.num_vertices = 20;
+  SldService svc(cfg);
+
+  // Pre-flush: annihilates in the queue, never reaches shards.
+  svc.insert(1, 2, 0.5);
+  EXPECT_TRUE(svc.erase(vertex_id{1}, vertex_id{2}));
+  svc.flush();
+  EXPECT_EQ(svc.stats().coalesced_pairs, 1u);
+  EXPECT_EQ(svc.stats().ops_applied, 0u);
+
+  // Across a flush, with reversed endpoints.
+  svc.insert(3, 4, 0.2);
+  svc.flush();
+  EXPECT_TRUE(svc.same_cluster(3, 4, 0.5));
+  EXPECT_TRUE(svc.erase(vertex_id{4}, vertex_id{3}));
+  svc.flush();
+  EXPECT_FALSE(svc.same_cluster(3, 4, 0.5));
+
+  // Unknown pair / already-erased pair.
+  EXPECT_FALSE(svc.erase(vertex_id{5}, vertex_id{6}));
+  EXPECT_FALSE(svc.erase(vertex_id{3}, vertex_id{4}));
+
+  // Multi-edge: one endpoint-erase per copy, most recent first.
+  svc.insert(7, 8, 0.1);
+  svc.insert(7, 8, 0.3);
+  svc.flush();
+  EXPECT_TRUE(svc.erase(vertex_id{7}, vertex_id{8}));
+  EXPECT_TRUE(svc.erase(vertex_id{7}, vertex_id{8}));
+  EXPECT_FALSE(svc.erase(vertex_id{7}, vertex_id{8}));
+  svc.flush();
+  EXPECT_FALSE(svc.same_cluster(7, 8, 1.0));
+
+  // A ticket-erase also clears the ledger entry.
+  ticket_t t = svc.insert(9, 10, 0.4);
+  svc.erase(t);
+  EXPECT_FALSE(svc.erase(vertex_id{9}, vertex_id{10}));
+}
+
+/// Shard-local vertex spaces: per-shard snapshots are sized to the
+/// shard's own range (uneven last shard included), and sharded answers
+/// still match the reference exactly.
+TEST(SldService, ShardLocalSpacesUnevenRanges) {
+  const vertex_id n = 50;
+  ServiceConfig cfg;
+  cfg.num_vertices = n;
+  cfg.num_shards = 4;  // stride 13: ranges 13, 13, 13, 11
+  cfg.capture_edges = true;
+  SldService svc(cfg);
+  par::Rng rng(424);
+  for (int i = 0; i < 220; ++i) {
+    vertex_id u = rng.next_bounded(n), v;
+    do {
+      v = rng.next_bounded(n);
+    } while (v == u);
+    svc.insert(u, v, rng.next_double());
+  }
+  svc.flush();
+  auto snap = svc.snapshot();
+  ASSERT_EQ(snap->shard_map().stride, 13u);
+  for (int k = 0; k < 4; ++k) {
+    EXPECT_EQ(snap->shard(k).num_vertices(), snap->shard_map().local_size(k));
+    EXPECT_EQ(snap->shard(k).base(), snap->shard_map().base(k));
+  }
+  EXPECT_EQ(snap->shard(3).num_vertices(), 11u);
+  for (double tau : {0.2, 0.55, 0.85}) {
+    auto ref = reference_labels(n, snap->captured_edges(), tau);
+    expect_same_partition(ref, snap->flat_clustering(tau));
+    for (int q = 0; q < 60; ++q) {
+      vertex_id s = rng.next_bounded(n), t = rng.next_bounded(n);
+      EXPECT_EQ(snap->same_cluster(s, t, tau), ref[s] == ref[t])
+          << "s=" << s << " t=" << t << " tau=" << tau;
+    }
+    for (int q = 0; q < 15; ++q) {
+      vertex_id u = rng.next_bounded(n);
+      EXPECT_EQ(snap->cluster_size(u, tau), ref_cluster_size(ref, u));
+      EXPECT_EQ(snap->cluster_report(u, tau).size(), ref_cluster_size(ref, u));
+    }
+  }
 }
 
 /// Background writer thread: epochs advance without explicit flushes.
