@@ -14,6 +14,10 @@
 //      snapshot conveniences vs one ThresholdView vs one batched
 //      ClusterView::run() — one cross-shard merge resolution amortized
 //      over the whole batch.
+//   5. Subscription refresh: skewed traffic keeps hammering one shard
+//      of eight; a SubscribedView refreshing per epoch (incremental:
+//      clean shards' endpoint tops reused, blob union-find re-run) vs
+//      a fresh view()+at(tau) (full resolution) per epoch.
 //
 //   $ ./bench_engine [--smoke]     (--smoke: tiny sizes, CI rot check)
 #include <chrono>
@@ -24,6 +28,7 @@
 #include "bench_util.hpp"
 #include "engine/replay.hpp"
 #include "engine/sld_service.hpp"
+#include "engine/subscription.hpp"
 #include "parallel/par.hpp"
 #include "parallel/random.hpp"
 
@@ -227,6 +232,105 @@ static void view_amortization(bool smoke) {
   (void)results;
 }
 
+static void subscription_refresh(bool smoke) {
+  bench::header("E-ENGINE-5",
+                "subscription refresh vs fresh view (1 of 8 shards dirty)");
+  const int shards = 8, block = smoke ? 256 : 2048;
+  const vertex_id n = static_cast<vertex_id>(shards) * block;
+  const double tau = 0.6;
+  ServiceConfig cfg;
+  cfg.num_vertices = n;
+  cfg.num_shards = shards;
+  SldService svc(cfg);
+  par::Rng rng(31);
+
+  // Dense intra-shard structure everywhere + sub-tau cross edges whose
+  // endpoints span all shards, so the resolution is nontrivial and the
+  // hot shard hosts cross endpoints (incremental path, not wholesale).
+  for (int k = 0; k < shards; ++k) {
+    vertex_id base = static_cast<vertex_id>(k) * block;
+    for (int i = 0; i < 3 * block; ++i) {
+      vertex_id u = base + rng.next_bounded(block), v;
+      do {
+        v = base + rng.next_bounded(block);
+      } while (v == u);
+      svc.insert(u, v, rng.next_double());
+    }
+  }
+  const int cross = smoke ? 800 : 6000;
+  for (int i = 0; i < cross; ++i) {
+    vertex_id u = rng.next_bounded(n), v;
+    do {
+      v = rng.next_bounded(n);
+    } while (v / block == u / block);
+    svc.insert(u, v, rng.next_double());
+  }
+  svc.flush();
+
+  SubscribedView sub(svc);
+  sub.at(tau);  // initial full resolution (not timed)
+
+  const int rounds = smoke ? 30 : 100, churn = smoke ? 64 : 256;
+  std::vector<ticket_t> hot_live;
+  double fresh_ms = 0, sub_ms = 0;
+  size_t sanity = 0;
+  auto before = svc.stats();
+  for (int r = 0; r < rounds; ++r) {
+    // Skewed traffic: every op lands inside shard 0.
+    for (int i = 0; i < churn; ++i) {
+      if (!hot_live.empty() && rng.next_double() < 0.4) {
+        size_t j = rng.next_bounded(hot_live.size());
+        svc.erase(hot_live[j]);
+        hot_live[j] = hot_live.back();
+        hot_live.pop_back();
+      } else {
+        vertex_id u = rng.next_bounded(block), v;
+        do {
+          v = rng.next_bounded(block);
+        } while (v == u);
+        hot_live.push_back(svc.insert(u, v, rng.next_double()));
+      }
+    }
+    svc.flush();
+
+    double t0 = now_ms();
+    ClusterView fresh = svc.view();
+    auto ftv = fresh.at(tau);  // full resolution every epoch (poll-and-rebuild)
+    fresh_ms += now_ms() - t0;
+
+    t0 = now_ms();
+    sub.refresh();  // incremental: 7 of 8 shards' tops reused
+    sub_ms += now_ms() - t0;
+
+    sanity += sub.at(tau)->num_cross_groups() == ftv->num_cross_groups();
+  }
+  auto after = svc.stats();
+
+  bench::row("%-26s %d shards x %d vertices, %zu cross edges, %d epochs",
+             "skewed-churn workload:", shards, block,
+             (size_t)svc.snapshot()->cross().size(), rounds);
+  bench::row("%-26s %10.3f ms/epoch", "fresh view()+at(tau):",
+             fresh_ms / rounds);
+  bench::row("%-26s %10.3f ms/epoch  %.1fx", "subscription refresh:",
+             sub_ms / rounds, sub_ms > 0 ? fresh_ms / sub_ms : 0.0);
+  bench::row("%-26s %.1f reused / %.1f rebuilt per refresh; %llu incremental, "
+             "%llu full",
+             "shards per refresh:",
+             static_cast<double>(after.refresh_shards_reused -
+                                 before.refresh_shards_reused) /
+                 rounds,
+             static_cast<double>(after.refresh_shards_rebuilt -
+                                 before.refresh_shards_rebuilt) /
+                 rounds,
+             (unsigned long long)(after.cross_uf_incremental -
+                                  before.cross_uf_incremental),
+             (unsigned long long)(after.refresh_views_full -
+                                  before.refresh_views_full));
+  if (sanity != static_cast<size_t>(rounds))
+    bench::row("WARNING: refresh/fresh divergence in %zu rounds",
+               rounds - sanity);
+}
+
 int main(int argc, char** argv) {
   bool smoke = false;
   for (int i = 1; i < argc; ++i)
@@ -236,5 +340,6 @@ int main(int argc, char** argv) {
   shard_scaling(smoke);
   coalescing(smoke);
   view_amortization(smoke);
+  subscription_refresh(smoke);
   return 0;
 }

@@ -1,11 +1,12 @@
 // Serving demo: the engine's end-to-end story in one page.
 //
 // A background writer thread flushes coalesced update batches while the
-// main thread plays "user traffic" through the view plane: it pins an
-// epoch with service.view(), resolves a ThresholdView once per round,
-// and asks every clustering question against that one resolution —
-// internally consistent reads, zero repeated merge work. The finale
-// runs a typed Query batch (ClusterView::run) mixing thresholds.
+// main thread plays "user traffic" through the subscription plane: a
+// SubscribedView registers with the service once, every publish
+// notifies it, and refresh() carries its resolved ThresholdView across
+// epochs incrementally — only the shards a flush actually rebuilt are
+// re-resolved, the rest are reused pointer-identically. The finale
+// runs a typed Query batch (SubscribedView::run) mixing thresholds.
 //
 //   $ ./serving_demo
 #include <cstdio>
@@ -52,20 +53,22 @@ int main() {
     }
   });
 
-  // Query traffic: one ClusterView per round pins the epoch; the
-  // ThresholdView resolves tau once for all four questions.
+  // Query traffic: one long-lived subscription instead of a fresh view
+  // per round. refresh() re-pins the latest epoch and swaps only the
+  // dirty shards' blob structures in the resolved ThresholdView.
+  SubscribedView sub(svc);
   par::Rng qrng(7);
   const double tau = 0.25;
   for (int round = 0; round < 10; ++round) {
     std::this_thread::sleep_for(std::chrono::milliseconds(8));
-    ClusterView view = svc.view();
-    auto tv = view.at(tau);
+    sub.refresh();  // no-op when no epoch was published meanwhile
+    auto tv = sub.at(tau);
     vertex_id probe = qrng.next_bounded(n);
     const SizeHistogram& hist = tv->size_histogram();
     std::printf(
         "epoch %4llu: %5zu tree edges, %4llu clusters @tau=%.2f (biggest "
         "%llu); vertex %3u's cluster has %llu members\n",
-        (unsigned long long)view.epoch(), view.snapshot().num_tree_edges(),
+        (unsigned long long)sub.epoch(), tv->snapshot().num_tree_edges(),
         (unsigned long long)hist.num_clusters(), tau,
         (unsigned long long)(hist.bins.empty() ? 0 : hist.bins.back().first),
         probe, (unsigned long long)tv->cluster_size(probe));
@@ -73,16 +76,17 @@ int main() {
 
   producer.join();
   svc.stop_writer();
+  sub.refresh();  // catch the shutdown flush
 
   // Typed batch: mixed kinds across two thresholds, grouped by tau and
-  // answered in parallel against one epoch.
+  // answered in parallel against the subscription's pinned epoch.
   std::vector<Query> batch;
   for (double t : {0.15, 0.4}) {
     batch.push_back(SameClusterQuery{1, 2, t});
     batch.push_back(ClusterSizeQuery{3, t});
     batch.push_back(SizeHistogramQuery{t});
   }
-  std::vector<QueryResult> results = svc.run(batch);
+  std::vector<QueryResult> results = sub.run(batch);
   for (size_t i = 0; i < batch.size(); i += 3) {
     double t = query_tau(batch[i]);
     std::printf(

@@ -3,12 +3,14 @@
 // maintains the exact single-linkage dendrogram of the evolving
 // similarity graph and answers live cluster queries.
 //
-// This drives the serving engine (SldService) through its view plane:
-// edges are enqueued on insert and erased *by endpoints* — the queue's
-// (u, v) ledger resolves tickets, so points only remember who they
-// connected to. Each window slide is one coalesced batch flush; the
-// cluster census pins the new epoch with service.view() and reads the
-// whole report off one ThresholdView resolution.
+// This drives the serving engine (SldService) through its subscription
+// plane: edges are enqueued on insert and erased *by endpoints* — the
+// queue's (u, v) ledger resolves tickets, so points only remember who
+// they connected to. Each window slide is one coalesced batch flush;
+// the cluster census holds one SubscribedView for the whole stream and
+// refresh()es it per epoch, so the census's ThresholdView is resolved
+// once up front and then maintained incrementally (only the shards a
+// slide touched are re-resolved).
 //
 // Workload: a sliding window over a stream of 2-D points (three moving
 // Gaussian-ish blobs). Each window step inserts new points' edges,
@@ -76,6 +78,10 @@ int main() {
 
   for (int i = 0; i < window; ++i) add_point(0);
 
+  // One subscription for the stream's lifetime; each slide's flush
+  // notifies it and refresh() carries the tau-resolution forward.
+  SubscribedView census(svc);
+
   std::printf("%5s %7s %9s %7s %10s %8s\n", "step", "points", "msf_edges",
               "epoch", "clusters", "biggest");
   for (int t = 0; t < steps; ++t) {
@@ -88,9 +94,10 @@ int main() {
     for (int i = 0; i < per_step; ++i) add_point(t);
     svc.flush();  // one batch per window slide -> one epoch
 
-    // Cluster census at threshold tau: one ThresholdView per epoch.
-    ClusterView view = svc.view();
-    auto tv = view.at(tau);
+    // Cluster census at threshold tau: refresh the standing
+    // subscription instead of resolving a fresh view.
+    census.refresh();
+    auto tv = census.at(tau);
     const auto& labels = tv->flat_clustering();
     std::vector<int> count(capacity, 0);
     int clusters = 0, biggest = 0;
@@ -100,8 +107,8 @@ int main() {
       if (c > biggest) biggest = c;
     }
     std::printf("%5d %7zu %9zu %7llu %10d %8d\n", t, live.size(),
-                view.snapshot().num_tree_edges(),
-                (unsigned long long)view.epoch(), clusters, biggest);
+                tv->snapshot().num_tree_edges(),
+                (unsigned long long)census.epoch(), clusters, biggest);
   }
 
   // Drill into the cluster of the newest point — same view surface,

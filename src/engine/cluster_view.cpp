@@ -9,71 +9,222 @@
 
 namespace dynsld::engine {
 
-ThresholdView::ThresholdView(EpochManager::Snap snap, double tau)
-    : snap_(std::move(snap)), tau_(tau) {
-  const EngineSnapshot& es = *snap_;
-  const auto& stats = es.stats();
-  if (stats) stats->views_built.fetch_add(1, std::memory_order_relaxed);
+int64_t ThresholdView::slot_key(int32_t top, vertex_id vtx) {
+  // Clustered blobs key on the (non-negative) top slot; singleton blobs
+  // key on the vertex, folded into the negative range so the two spaces
+  // never collide within a shard.
+  if (top == DendrogramSnapshot::kNoSlot) return -1 - static_cast<int64_t>(vtx);
+  return top;
+}
 
+std::shared_ptr<const ThresholdView::Resolution> ThresholdView::resolve(
+    const EngineSnapshot& es, double tau, const Resolution* prev,
+    const std::vector<char>* shard_clean) {
   const auto& cross = es.cross().edges();  // weight-ascending
-  size_t m = 0;
-  while (m < cross.size() && cross[m].w <= tau_) ++m;
-  if (m == 0) return;  // trivial mode: every cluster is one shard blob
+  const size_t m = es.cross().sub_tau_prefix(tau);
+  if (m == 0) return nullptr;  // trivial mode: every cluster is one shard blob
 
-  if (stats) stats->cross_uf_builds.fetch_add(1, std::memory_order_relaxed);
+  auto res = std::make_shared<Resolution>();
   const ShardMap& map = es.shard_map();
+  const int K = map.num_shards;
 
-  auto intern = [&](vertex_id x) -> uint32_t {
-    int s = map.home(x);
-    int32_t top = es.shard(s).top_of(x, tau_);
-    auto [it, fresh] =
-        blob_id_.try_emplace(blob_key(s, top, x),
-                             static_cast<uint32_t>(blobs_.size()));
-    if (fresh) blobs_.push_back(Blob{s, top, x});
-    return it->second;
-  };
-
-  std::vector<std::pair<uint32_t, uint32_t>> unions;
-  unions.reserve(m);
-  for (size_t i = 0; i < m; ++i)
-    unions.emplace_back(intern(cross[i].u), intern(cross[i].v));
-
-  UnionFind uf(blobs_.size());
-  for (auto [a, b] : unions) uf.unite(a, b);
-
-  // Flatten into dense immutable groups (queries must be pure reads).
-  blob_group_.assign(blobs_.size(), -1);
-  std::vector<int32_t> root_group(blobs_.size(), -1);
-  int32_t num_groups = 0;
-  for (uint32_t i = 0; i < blobs_.size(); ++i) {
-    vertex_id r = uf.find(i);
-    if (root_group[r] < 0) root_group[r] = num_groups++;
-    blob_group_[i] = root_group[r];
+  // Clean shards share their ShardBlobs from prev by pointer (frozen:
+  // lookups only, guaranteed to hit because the sub-tau prefix — hence
+  // the endpoint multiset — is unchanged on this path); rebuilt shards
+  // get fresh blocks and re-intern.
+  std::vector<std::shared_ptr<ShardBlobs>> fresh(K);
+  res->shard.resize(K);
+  for (int k = 0; k < K; ++k) {
+    if (prev && shard_clean && (*shard_clean)[k]) {
+      res->shard[k] = prev->shard[k];
+    } else {
+      fresh[k] = std::make_shared<ShardBlobs>();
+      res->shard[k] = fresh[k];
+    }
   }
 
-  group_size_.assign(num_groups, 0);
-  group_off_.assign(num_groups + 1, 0);
-  for (uint32_t i = 0; i < blobs_.size(); ++i) ++group_off_[blob_group_[i] + 1];
-  std::partial_sum(group_off_.begin(), group_off_.end(), group_off_.begin());
-  group_blobs_.resize(blobs_.size());
-  std::vector<uint32_t> cursor(group_off_.begin(), group_off_.end() - 1);
-  for (uint32_t i = 0; i < blobs_.size(); ++i) {
-    group_blobs_[cursor[blob_group_[i]]++] = i;
-    const Blob& b = blobs_[i];
-    group_size_[blob_group_[i]] +=
+  struct Occ {
+    int32_t shard;
+    uint32_t local;
+  };
+  auto intern = [&](vertex_id x) -> Occ {
+    int k = map.home(x);
+    if (!fresh[k]) {  // frozen clean shard
+      const ShardBlobs& sb = *res->shard[k];
+      int32_t top = sb.endpoint_top.at(x);
+      return {k, sb.blob_of.at(slot_key(top, x))};
+    }
+    ShardBlobs& sb = *fresh[k];
+    auto [et, fresh_ep] =
+        sb.endpoint_top.try_emplace(x, DendrogramSnapshot::kNoSlot);
+    if (fresh_ep) et->second = es.shard(k).top_of(x, tau);
+    auto [bt, fresh_blob] =
+        sb.blob_of.try_emplace(slot_key(et->second, x),
+                               static_cast<uint32_t>(sb.local.size()));
+    if (fresh_blob)
+      sb.local.push_back(Blob{static_cast<int32_t>(k), et->second, x});
+    return {k, bt->second};
+  };
+
+  std::vector<Occ> occ;
+  occ.reserve(2 * m);
+  for (size_t i = 0; i < m; ++i) {
+    occ.push_back(intern(cross[i].u));
+    occ.push_back(intern(cross[i].v));
+  }
+
+  // Dense global blob ids: per-shard prefix offsets over the (possibly
+  // shared) local blob lists.
+  res->blob_base.assign(K + 1, 0);
+  for (int k = 0; k < K; ++k)
+    res->blob_base[k + 1] =
+        res->blob_base[k] + static_cast<uint32_t>(res->shard[k]->local.size());
+  const uint32_t num_blobs = res->blob_base[K];
+  res->blobs.reserve(num_blobs);
+  for (int k = 0; k < K; ++k)
+    res->blobs.insert(res->blobs.end(), res->shard[k]->local.begin(),
+                      res->shard[k]->local.end());
+
+  UnionFind uf(num_blobs);
+  for (size_t i = 0; i < occ.size(); i += 2)
+    uf.unite(res->blob_base[occ[i].shard] + occ[i].local,
+             res->blob_base[occ[i + 1].shard] + occ[i + 1].local);
+
+  // Flatten into dense immutable groups (queries must be pure reads).
+  res->blob_group.assign(num_blobs, -1);
+  std::vector<int32_t> root_group(num_blobs, -1);
+  int32_t num_groups = 0;
+  for (uint32_t i = 0; i < num_blobs; ++i) {
+    vertex_id r = uf.find(i);
+    if (root_group[r] < 0) root_group[r] = num_groups++;
+    res->blob_group[i] = root_group[r];
+  }
+
+  res->group_size.assign(num_groups, 0);
+  res->group_off.assign(num_groups + 1, 0);
+  for (uint32_t i = 0; i < num_blobs; ++i)
+    ++res->group_off[res->blob_group[i] + 1];
+  std::partial_sum(res->group_off.begin(), res->group_off.end(),
+                   res->group_off.begin());
+  res->group_blobs.resize(num_blobs);
+  std::vector<uint32_t> cursor(res->group_off.begin(),
+                               res->group_off.end() - 1);
+  for (uint32_t i = 0; i < num_blobs; ++i) {
+    res->group_blobs[cursor[res->blob_group[i]]++] = i;
+    const Blob& b = res->blobs[i];
+    res->group_size[res->blob_group[i]] +=
         b.top == DendrogramSnapshot::kNoSlot
             ? 1
             : es.shard(b.shard).slot_count(b.top);
   }
+  return res;
 }
 
-int32_t ThresholdView::resolve(vertex_id x, int& shard, int32_t& top) const {
+ThresholdView::ThresholdView(EpochManager::Snap snap, double tau)
+    : snap_(std::move(snap)), tau_(tau) {
+  const auto& stats = snap_->stats();
+  if (stats) stats->views_built.fetch_add(1, std::memory_order_relaxed);
+  res_ = resolve(*snap_, tau_, nullptr, nullptr);
+  if (res_ && stats)
+    stats->cross_uf_builds.fetch_add(1, std::memory_order_relaxed);
+}
+
+ThresholdView::ThresholdView(EpochManager::Snap snap, double tau,
+                             std::shared_ptr<const Resolution> res)
+    : snap_(std::move(snap)), tau_(tau), res_(std::move(res)) {}
+
+std::shared_ptr<const ThresholdView> ThresholdView::refreshed(
+    const std::shared_ptr<const ThresholdView>& prev,
+    EpochManager::Snap snap) {
+  assert(prev);
+  if (snap->epoch() == prev->snap_->epoch()) return prev;
+  const EngineSnapshot& es = *snap;
+  const EngineSnapshot& pes = *prev->snap_;
+  const double tau = prev->tau_;
+  const auto& stats = es.stats();
+  const ShardMap& map = es.shard_map();
+  assert(map.num_shards == pes.shard_map().num_shards &&
+         map.n == pes.shard_map().n);
+
+  // Shard cleanliness is pointer identity: an epoch reuses untouched
+  // shards' DendrogramSnapshots by pointer, so this holds across any
+  // number of skipped epochs with no delta chaining.
+  std::vector<char> clean(map.num_shards, 0);
+  int num_dirty = 0;
+  for (int k = 0; k < map.num_shards; ++k) {
+    clean[k] = &es.shard(k) == &pes.shard(k);
+    num_dirty += !clean[k];
+  }
+
+  // The resolution reads only the sub-tau cross prefix: unchanged when
+  // the table is pointer-identical, or when a single-step delta proves
+  // every changed cross edge sits above this threshold.
+  bool prefix_same = &es.cross() == &pes.cross();
+  if (!prefix_same && es.delta().base_epoch == pes.epoch() &&
+      es.delta().cross_min_w > tau)
+    prefix_same = true;
+
+  if (!prefix_same) {
+    if (stats) {
+      stats->refresh_views_full.fetch_add(1, std::memory_order_relaxed);
+      stats->refresh_shards_rebuilt.fetch_add(map.num_shards,
+                                              std::memory_order_relaxed);
+    }
+    return std::make_shared<const ThresholdView>(std::move(snap), tau);
+  }
+
+  if (stats) {
+    stats->refresh_shards_reused.fetch_add(map.num_shards - num_dirty,
+                                           std::memory_order_relaxed);
+    stats->refresh_shards_rebuilt.fetch_add(num_dirty,
+                                            std::memory_order_relaxed);
+  }
+
+  // Does the resolution read any rebuilt shard? Endpoint tops and blob
+  // slot counts are per home shard of the cross endpoints, so a rebuild
+  // of a shard no sub-tau cross edge touches cannot affect it.
+  bool touches_dirty = false;
+  if (num_dirty && prev->res_) {
+    for (int k = 0; k < map.num_shards; ++k) {
+      if (!clean[k] && !prev->res_->shard[k]->local.empty()) {
+        touches_dirty = true;
+        break;
+      }
+    }
+  }
+  if (!touches_dirty) {
+    if (stats)
+      stats->refresh_views_reused.fetch_add(1, std::memory_order_relaxed);
+    return std::shared_ptr<const ThresholdView>(
+        new ThresholdView(std::move(snap), tau, prev->res_));
+  }
+
+  if (stats) {
+    stats->refresh_views_incremental.fetch_add(1, std::memory_order_relaxed);
+    stats->cross_uf_incremental.fetch_add(1, std::memory_order_relaxed);
+  }
+  auto res = resolve(es, tau, prev->res_.get(), &clean);
+  return std::shared_ptr<const ThresholdView>(
+      new ThresholdView(std::move(snap), tau, std::move(res)));
+}
+
+int32_t ThresholdView::resolve_vertex(vertex_id x, int& shard,
+                                      int32_t& top) const {
   const EngineSnapshot& es = *snap_;
   shard = es.shard_map().home(x);
-  top = es.shard(shard).top_of(x, tau_);
-  if (blob_id_.empty()) return -1;
-  auto it = blob_id_.find(blob_key(shard, top, x));
-  return it == blob_id_.end() ? -1 : blob_group_[it->second];
+  if (!res_) {
+    top = es.shard(shard).top_of(x, tau_);
+    return -1;
+  }
+  const ShardBlobs& sb = *res_->shard[shard];
+  // Cross endpoints carry their top in the shard's cache (valid for
+  // this epoch: clean-shard entries are pointer-stable).
+  auto et = sb.endpoint_top.find(x);
+  top = et != sb.endpoint_top.end() ? et->second
+                                    : es.shard(shard).top_of(x, tau_);
+  auto bt = sb.blob_of.find(slot_key(top, x));
+  if (bt == sb.blob_of.end()) return -1;
+  return res_->blob_group[res_->blob_base[shard] + bt->second];
 }
 
 bool ThresholdView::same_cluster(vertex_id s, vertex_id t) const {
@@ -82,8 +233,8 @@ bool ThresholdView::same_cluster(vertex_id s, vertex_id t) const {
   if (s == t) return true;
   int ss, st;
   int32_t tops, topt;
-  int32_t gs = resolve(s, ss, tops);
-  int32_t gt = resolve(t, st, topt);
+  int32_t gs = resolve_vertex(s, ss, tops);
+  int32_t gt = resolve_vertex(t, st, topt);
   if (gs >= 0 || gt >= 0) return gs == gt;
   // Neither blob is touched by a sub-tau cross edge: the cluster is the
   // blob itself, so equality is same shard + same (non-singleton) top.
@@ -95,8 +246,8 @@ uint64_t ThresholdView::cluster_size(vertex_id u) const {
   if (stats) stats->q_cluster_size.fetch_add(1, std::memory_order_relaxed);
   int s;
   int32_t top;
-  int32_t g = resolve(u, s, top);
-  if (g >= 0) return group_size_[g];
+  int32_t g = resolve_vertex(u, s, top);
+  if (g >= 0) return res_->group_size[g];
   return top == DendrogramSnapshot::kNoSlot
              ? 1
              : snap_->shard(s).slot_count(top);
@@ -107,7 +258,7 @@ std::vector<vertex_id> ThresholdView::cluster_report(vertex_id u) const {
   if (stats) stats->q_cluster_report.fetch_add(1, std::memory_order_relaxed);
   int s;
   int32_t top;
-  int32_t g = resolve(u, s, top);
+  int32_t g = resolve_vertex(u, s, top);
   if (g < 0) {
     if (top == DendrogramSnapshot::kNoSlot) return {u};
     std::vector<vertex_id> out;
@@ -116,9 +267,9 @@ std::vector<vertex_id> ThresholdView::cluster_report(vertex_id u) const {
     return out;
   }
   std::vector<vertex_id> out;
-  out.reserve(group_size_[g]);
-  for (uint32_t i = group_off_[g]; i < group_off_[g + 1]; ++i) {
-    const Blob& b = blobs_[group_blobs_[i]];
+  out.reserve(res_->group_size[g]);
+  for (uint32_t i = res_->group_off[g]; i < res_->group_off[g + 1]; ++i) {
+    const Blob& b = res_->blobs[res_->group_blobs[i]];
     if (b.top == DendrogramSnapshot::kNoSlot)
       out.push_back(b.vtx);
     else
@@ -188,6 +339,41 @@ QueryResult ThresholdView::run(const Query& q) const {
   return std::visit(Dispatch{*this}, q);
 }
 
+namespace detail {
+
+std::vector<QueryResult> run_batch(
+    std::span<const Query> queries, const std::shared_ptr<EngineStats>& stats,
+    const std::function<std::shared_ptr<const ThresholdView>(double)>&
+        view_at) {
+  std::vector<QueryResult> out(queries.size());
+  std::map<double, std::vector<uint32_t>> by_tau;
+  for (uint32_t i = 0; i < queries.size(); ++i)
+    by_tau[query_tau(queries[i])].push_back(i);
+  std::vector<const std::pair<const double, std::vector<uint32_t>>*> groups;
+  groups.reserve(by_tau.size());
+  for (const auto& g : by_tau) groups.push_back(&g);
+
+  if (stats) {
+    stats->batch_runs.fetch_add(1, std::memory_order_relaxed);
+    stats->batch_queries.fetch_add(queries.size(), std::memory_order_relaxed);
+  }
+
+  par::parallel_for(
+      0, groups.size(),
+      [&](size_t g) {
+        auto view = view_at(groups[g]->first);  // one resolution per tau
+        const std::vector<uint32_t>& idx = groups[g]->second;
+        par::parallel_for(
+            0, idx.size(),
+            [&](size_t j) { out[idx[j]] = view->run(queries[idx[j]]); },
+            /*grain=*/8);
+      },
+      /*grain=*/1);
+  return out;
+}
+
+}  // namespace detail
+
 ClusterView::ClusterView(EpochManager::Snap snap)
     : snap_(std::move(snap)), cache_(std::make_shared<Cache>()) {}
 
@@ -206,32 +392,8 @@ std::shared_ptr<const ThresholdView> ClusterView::at(double tau) const {
 }
 
 std::vector<QueryResult> ClusterView::run(std::span<const Query> queries) const {
-  std::vector<QueryResult> out(queries.size());
-  std::map<double, std::vector<uint32_t>> by_tau;
-  for (uint32_t i = 0; i < queries.size(); ++i)
-    by_tau[query_tau(queries[i])].push_back(i);
-  std::vector<const std::pair<const double, std::vector<uint32_t>>*> groups;
-  groups.reserve(by_tau.size());
-  for (const auto& g : by_tau) groups.push_back(&g);
-
-  const auto& stats = snap_->stats();
-  if (stats) {
-    stats->batch_runs.fetch_add(1, std::memory_order_relaxed);
-    stats->batch_queries.fetch_add(queries.size(), std::memory_order_relaxed);
-  }
-
-  par::parallel_for(
-      0, groups.size(),
-      [&](size_t g) {
-        auto view = at(groups[g]->first);  // one resolution per tau
-        const std::vector<uint32_t>& idx = groups[g]->second;
-        par::parallel_for(
-            0, idx.size(),
-            [&](size_t j) { out[idx[j]] = view->run(queries[idx[j]]); },
-            /*grain=*/8);
-      },
-      /*grain=*/1);
-  return out;
+  return detail::run_batch(queries, snap_->stats(),
+                           [this](double tau) { return at(tau); });
 }
 
 }  // namespace dynsld::engine

@@ -28,12 +28,31 @@
 // thousands of queries at one tau share a single merge resolution
 // instead of re-deriving it per call (the PR 1 behavior).
 //
+// Incremental refresh (the subscription plane, subscription.hpp): the
+// resolution is a shareable immutable block, and ThresholdView::
+// refreshed(prev, snap) carries it across epochs proportionally to the
+// published EpochDelta. Per-shard snapshot reuse is pointer-identical,
+// so cleanliness needs no bookkeeping: a shard whose DendrogramSnapshot
+// pointer is unchanged gives identical top_of answers, and its cached
+// endpoint tops are reused verbatim. Three refresh grades:
+//
+//   reused       sub-tau cross prefix unchanged, no resolved endpoint
+//                homed in a rebuilt shard -> share the resolution block
+//                wholesale (zero work);
+//   incremental  prefix unchanged, some endpoints dirty -> recompute
+//                tops only for endpoints in rebuilt shards (cache hits
+//                for the rest), re-run the cheap blob union-find;
+//   full         the sub-tau prefix itself changed (cross churn at or
+//                below tau) -> resolve from scratch, as the paper's
+//                locality argument no longer applies.
+//
 // ClusterView is a cheap value type (two shared_ptrs): it pins the
 // epoch like EngineSnapshot does and memoizes ThresholdViews by tau.
 // run() executes a typed Query batch: group by tau, resolve each
 // threshold once, fan the groups out on the fork-join scheduler.
 #pragma once
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -49,8 +68,17 @@ namespace dynsld::engine {
 class ThresholdView {
  public:
   /// Resolve `snap` at threshold tau (one cross-shard union-find
-  /// build). Prefer ClusterView::at(), which memoizes.
+  /// build). Prefer ClusterView::at(), which memoizes, or a
+  /// SubscribedView, which refreshes incrementally across epochs.
   ThresholdView(EpochManager::Snap snap, double tau);
+
+  /// Refresh `prev` onto `snap` (same threshold, newer epoch): shares
+  /// or incrementally rebuilds the merge resolution depending on what
+  /// the epochs in between actually changed — see the header comment.
+  /// Returns `prev` itself when the epoch did not advance.
+  static std::shared_ptr<const ThresholdView> refreshed(
+      const std::shared_ptr<const ThresholdView>& prev,
+      EpochManager::Snap snap);
 
   double tau() const { return tau_; }
   uint64_t epoch() const { return snap_->epoch(); }
@@ -74,7 +102,7 @@ class ThresholdView {
   QueryResult run(const Query& q) const;
 
   /// Number of merged cross-shard groups (introspection/tests).
-  size_t num_cross_groups() const { return group_size_.size(); }
+  size_t num_cross_groups() const { return res_ ? res_->group_size.size() : 0; }
 
  private:
   // A blob is the unit the cross merge unites: one shard-local cluster
@@ -86,17 +114,49 @@ class ThresholdView {
     vertex_id vtx;  // the singleton vertex (unused otherwise)
   };
 
-  static uint64_t blob_key(int shard, int32_t top, vertex_id vtx) {
-    // Clustered blobs get shard+1 in the high word; singleton blobs get
-    // 0 there and the vertex id below, so the two spaces never collide.
-    if (top == DendrogramSnapshot::kNoSlot) return static_cast<uint64_t>(vtx);
-    return (static_cast<uint64_t>(shard + 1) << 32) |
-           static_cast<uint32_t>(top);
-  }
+  /// One shard's share of the resolution: the tops of the cross
+  /// endpoints homed here and the interned blobs they induce. Immutable
+  /// and pointer-shared across refreshes — THE unit an incremental
+  /// refresh swaps: a clean shard's block is reused verbatim (zero hash
+  /// inserts, zero top_of calls); only rebuilt shards re-intern.
+  struct ShardBlobs {
+    std::unordered_map<vertex_id, int32_t> endpoint_top;  // endpoint -> top
+    std::unordered_map<int64_t, uint32_t> blob_of;  // slot_key -> local blob
+    std::vector<Blob> local;                        // this shard's blobs
+  };
+
+  /// Everything the sub-tau cross prefix determines, as one immutable
+  /// shareable block: per-shard blob structures, dense global blob
+  /// table, and the flattened union-find groups. Null on a view in
+  /// trivial mode (no sub-tau cross edge). Global blob id =
+  /// blob_base[shard] + local index.
+  struct Resolution {
+    std::vector<std::shared_ptr<const ShardBlobs>> shard;  // size K
+    std::vector<uint32_t> blob_base;                // size K+1, prefix sums
+    std::vector<Blob> blobs;                        // global, concatenated
+    std::vector<int32_t> blob_group;
+    std::vector<uint64_t> group_size;               // per group: vertices
+    std::vector<uint32_t> group_off, group_blobs;   // CSR group -> blobs
+  };
+
+  /// Adopt an already-built (shared or incrementally rebuilt)
+  /// resolution for a new epoch; used only by refreshed().
+  ThresholdView(EpochManager::Snap snap, double tau,
+                std::shared_ptr<const Resolution> res);
+
+  /// Build the resolution of `es` at tau. With `prev`/`shard_clean`,
+  /// clean shards' ShardBlobs are shared by pointer (lookups only, no
+  /// interning) and only rebuilt shards' endpoints pay O(log h) tops —
+  /// the incremental path; the blob union-find re-runs either way.
+  static std::shared_ptr<const Resolution> resolve(
+      const EngineSnapshot& es, double tau, const Resolution* prev,
+      const std::vector<char>* shard_clean);
+
+  static int64_t slot_key(int32_t top, vertex_id vtx);
 
   /// Group of vertex x's blob, or -1 when no sub-tau cross edge touches
   /// it (the blob then IS the cluster). Also yields shard and top slot.
-  int32_t resolve(vertex_id x, int& shard, int32_t& top) const;
+  int32_t resolve_vertex(vertex_id x, int& shard, int32_t& top) const;
 
   /// Lazily materialized flat labels (one global union-find pass),
   /// shared by flat_clustering and size_histogram.
@@ -104,18 +164,25 @@ class ThresholdView {
 
   EpochManager::Snap snap_;
   double tau_ = 0.0;
-  // Dense blob table over the endpoints of sub-tau cross edges; empty
-  // in the trivial (no sub-tau cross edge) mode.
-  std::unordered_map<uint64_t, uint32_t> blob_id_;
-  std::vector<Blob> blobs_;
-  std::vector<int32_t> blob_group_;
-  std::vector<uint64_t> group_size_;                // per group: vertices
-  std::vector<uint32_t> group_off_, group_blobs_;   // CSR group -> blobs
+  std::shared_ptr<const Resolution> res_;  // null => trivial mode
   mutable std::once_flag labels_once_;
   mutable std::vector<vertex_id> labels_;
   mutable std::once_flag histogram_once_;
   mutable SizeHistogram histogram_;
 };
+
+namespace detail {
+
+/// Shared batch executor: group `queries` by tau, resolve each distinct
+/// threshold once through `view_at`, fan the groups out on the
+/// fork-join scheduler. Both ClusterView::run and SubscribedView::run
+/// route through this. `view_at` must be safe to call from scheduler
+/// workers.
+std::vector<QueryResult> run_batch(
+    std::span<const Query> queries, const std::shared_ptr<EngineStats>& stats,
+    const std::function<std::shared_ptr<const ThresholdView>(double)>& view_at);
+
+}  // namespace detail
 
 class ClusterView {
  public:

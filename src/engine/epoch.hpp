@@ -21,6 +21,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -76,8 +77,41 @@ class CrossEdgeView {
   size_t size() const { return edges_.size(); }
   const std::vector<Edge>& edges() const { return edges_; }
 
+  /// Number of edges with w <= tau (the prefix threshold consumers
+  /// scan). O(log X).
+  size_t sub_tau_prefix(double tau) const;
+
  private:
   std::vector<Edge> edges_;  // weight-ascending
+};
+
+/// What changed between an epoch and the one it was built from,
+/// recorded by the router at flush time and published with the
+/// snapshot. The refresh machinery itself keys shard reuse off
+/// DendrogramSnapshot pointer identity (robust across skipped epochs)
+/// and consumes cross_min_w/base_epoch to gate full re-resolves; the
+/// rebuild flags and churn counts are the observable record of the
+/// flush's footprint (introspection, tests, external consumers).
+struct EpochDelta {
+  /// The epoch this delta is relative to (the previously published
+  /// snapshot; equals this snapshot's own epoch for the initial build).
+  uint64_t base_epoch = 0;
+  /// Per shard: was this shard's dendrogram snapshot rebuilt?
+  std::vector<char> shard_rebuilt;
+  /// Cross-shard edge-table churn this flush.
+  uint32_t cross_inserted = 0;
+  uint32_t cross_erased = 0;
+  /// Lightest weight among the changed cross edges: a view resolved at
+  /// tau < cross_min_w reads the same sub-tau prefix before and after,
+  /// so its cross merge is untouched even though the table changed.
+  double cross_min_w = std::numeric_limits<double>::infinity();
+
+  bool cross_changed() const { return cross_inserted + cross_erased != 0; }
+  int num_rebuilt() const {
+    int k = 0;
+    for (char c : shard_rebuilt) k += c != 0;
+    return k;
+  }
 };
 
 class EngineSnapshot {
@@ -86,6 +120,9 @@ class EngineSnapshot {
   const ShardMap& shard_map() const { return map_; }
   const DendrogramSnapshot& shard(int k) const { return *shards_[k]; }
   const CrossEdgeView& cross() const { return *cross_; }
+  /// What this epoch changed relative to the one it was built from
+  /// (per-shard rebuild flags + cross-edge churn).
+  const EpochDelta& delta() const { return delta_; }
   /// Dendrogram nodes across the shard snapshots — intra-shard forest
   /// edges only; cross-table edges are raw and counted by cross().
   size_t num_tree_edges() const;
@@ -117,6 +154,7 @@ class EngineSnapshot {
   ShardMap map_;
   std::vector<std::shared_ptr<const DendrogramSnapshot>> shards_;
   std::shared_ptr<const CrossEdgeView> cross_;
+  EpochDelta delta_;
   std::vector<WeightedEdge> edges_;
   // Query accounting: shared with the publishing service so counting
   // stays safe even for readers that outlive it.

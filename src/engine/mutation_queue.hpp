@@ -20,6 +20,13 @@
 // not yet erased (it survives drains), so callers can erase by
 // endpoints instead of retaining tickets; a multi-edge erases its most
 // recently inserted copy first.
+//
+// Dirty-set capture: queued erases carry the endpoints the ledger
+// resolved at enqueue time, so a drained batch can report exactly which
+// shards (and whether the cross table) applying it will touch.
+// Annihilated insert/erase pairs are gone before the drain and
+// contribute nothing — the tests pin that invariant down, since it is
+// what keeps churn-only traffic invisible to the epoch plane.
 #pragma once
 
 #include <algorithm>
@@ -29,6 +36,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "engine/epoch.hpp"
 #include "engine/stats.hpp"
 #include "graph/types.hpp"
 
@@ -45,11 +53,51 @@ class MutationQueue {
     double w;
   };
 
+  struct EraseOp {
+    ticket_t ticket;
+    // Endpoints resolved through the ledger at enqueue time (kNoVertex
+    // pair when the ticket was never inserted through this queue), so
+    // the flush knows which shard an erase lands in without resolving
+    // the shard-level handle first.
+    vertex_id u = kNoVertex, v = kNoVertex;
+  };
+
+  /// Which shards — and whether the cross table — applying a batch will
+  /// touch (the set of per-shard structures the next epoch rebuilds).
+  struct BatchDirty {
+    std::vector<char> shards;
+    bool cross = false;
+
+    bool any() const {
+      for (char c : shards)
+        if (c) return true;
+      return cross;
+    }
+  };
+
   struct Drained {
     std::vector<InsertOp> inserts;  // enqueue order
-    std::vector<ticket_t> erases;   // enqueue order, deduplicated
+    std::vector<EraseOp> erases;    // enqueue order, deduplicated
     size_t size() const { return inserts.size() + erases.size(); }
     bool empty() const { return inserts.empty() && erases.empty(); }
+
+    /// The dirty set this batch implies under `map`. Erases whose
+    /// ticket never went through the queue have unknown endpoints and
+    /// are skipped (the router counts them as invalid at apply).
+    BatchDirty dirty_set(const ShardMap& map) const {
+      BatchDirty d;
+      d.shards.assign(map.num_shards, 0);
+      auto touch = [&](vertex_id u, vertex_id v) {
+        if (map.intra(u, v))
+          d.shards[map.home(u)] = 1;
+        else
+          d.cross = true;
+      };
+      for (const InsertOp& op : inserts) touch(op.u, op.v);
+      for (const EraseOp& op : erases)
+        if (op.u != kNoVertex) touch(op.u, op.v);
+      return d;
+    }
   };
 
   explicit MutationQueue(EngineStats* stats = nullptr) : stats_(stats) {}
@@ -122,7 +170,19 @@ class MutationQueue {
 
   bool erase_locked(ticket_t t) {
     if (stats_) stats_->erases_enqueued.fetch_add(1, std::memory_order_relaxed);
-    drop_from_ledger(t);
+    // Capture the ledger's endpoints while dropping the entry (one
+    // lookup for both): a queued erase of an applied ticket carries
+    // them into the drained batch.
+    vertex_id eu = kNoVertex, ev = kNoVertex;
+    if (auto kit = key_of_.find(t); kit != key_of_.end()) {
+      eu = static_cast<vertex_id>(kit->second >> 32);
+      ev = static_cast<vertex_id>(kit->second & 0xffffffffu);
+      auto bucket = by_endpoints_.find(kit->second);
+      auto& tickets = bucket->second;
+      tickets.erase(std::find(tickets.begin(), tickets.end(), t));
+      if (tickets.empty()) by_endpoints_.erase(bucket);
+      key_of_.erase(kit);
+    }
     auto it = pending_pos_.find(t);
     if (it != pending_pos_.end()) {
       inserts_[it->second].ticket = kNoTicket;  // tombstone
@@ -135,25 +195,15 @@ class MutationQueue {
       if (stats_) stats_->duplicate_erases.fetch_add(1, std::memory_order_relaxed);
       return false;
     }
-    erases_.push_back(t);
+    erases_.push_back(EraseOp{t, eu, ev});
     return true;
-  }
-
-  void drop_from_ledger(ticket_t t) {
-    auto it = key_of_.find(t);
-    if (it == key_of_.end()) return;
-    auto bucket = by_endpoints_.find(it->second);
-    auto& tickets = bucket->second;
-    tickets.erase(std::find(tickets.begin(), tickets.end(), t));
-    if (tickets.empty()) by_endpoints_.erase(bucket);
-    key_of_.erase(it);
   }
 
   mutable std::mutex mu_;
   ticket_t next_ticket_ = 0;
   std::vector<InsertOp> inserts_;
   std::unordered_map<ticket_t, size_t> pending_pos_;
-  std::vector<ticket_t> erases_;
+  std::vector<EraseOp> erases_;
   std::unordered_set<ticket_t> erase_set_;
   // Endpoint ledger: live (not yet erased) insertions by normalized
   // (u, v); survives drain() so applied edges stay resolvable.

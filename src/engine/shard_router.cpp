@@ -32,8 +32,8 @@ void ShardRouter::apply(const MutationQueue::Drained& batch) {
       shards_.size());
   std::vector<std::vector<ticket_t>> shard_insert_tickets(shards_.size());
 
-  for (ticket_t t : batch.erases) {
-    Loc* l = loc(t);
+  for (const MutationQueue::EraseOp& eop : batch.erases) {
+    Loc* l = loc(eop.ticket);
     if (!l || l->kind == Loc::kDead) {
       if (stats_) stats_->invalid_erases.fetch_add(1, std::memory_order_relaxed);
       continue;
@@ -44,6 +44,8 @@ void ShardRouter::apply(const MutationQueue::Drained& batch) {
       cross_free_.push_back(l->id);
       --cross_alive_;
       cross_dirty_ = true;
+      ++delta_cross_del_;
+      if (slot.w < delta_cross_min_w_) delta_cross_min_w_ = slot.w;
       if (stats_) stats_->cross_ops.fetch_add(1, std::memory_order_relaxed);
     } else {
       shard_erases[l->shard].push_back(l->id);
@@ -71,6 +73,8 @@ void ShardRouter::apply(const MutationQueue::Drained& batch) {
       cross_[slot] = CrossSlot{op.u, op.v, op.w, true};
       ++cross_alive_;
       cross_dirty_ = true;
+      ++delta_cross_ins_;
+      if (op.w < delta_cross_min_w_) delta_cross_min_w_ = op.w;
       record(op.ticket, Loc{Loc::kCross, -1, slot});
       if (stats_) stats_->cross_ops.fetch_add(1, std::memory_order_relaxed);
     }
@@ -108,6 +112,21 @@ std::shared_ptr<const EngineSnapshot> ShardRouter::build_snapshot(
   snap->map_ = map_;
   snap->stats_ = stats_;
   snap->shards_.resize(shards_.size());
+
+  // Record the delta before the dirty flags are consumed below. The
+  // initial build (no prev) marks everything rebuilt and is its own
+  // base, so subscribers can never mistake it for an increment.
+  snap->delta_.base_epoch = prev ? prev->epoch() : epoch;
+  snap->delta_.shard_rebuilt.assign(shards_.size(), 1);
+  if (prev) {
+    for (size_t k = 0; k < shards_.size(); ++k)
+      snap->delta_.shard_rebuilt[k] = dirty_[k];
+  }
+  snap->delta_.cross_inserted = delta_cross_ins_;
+  snap->delta_.cross_erased = delta_cross_del_;
+  snap->delta_.cross_min_w = delta_cross_min_w_;
+  delta_cross_ins_ = delta_cross_del_ = 0;
+  delta_cross_min_w_ = std::numeric_limits<double>::infinity();
 
   uint64_t built = 0, reused = 0;
   par::parallel_for(

@@ -24,6 +24,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <vector>
 
@@ -50,7 +51,10 @@ class ShardRouter {
   /// Materialize the epoch snapshot after apply(). Shards untouched
   /// since `prev` reuse prev's per-shard snapshots; `capture_edges`
   /// additionally copies the full alive edge set into the snapshot for
-  /// reference verification. Clears the dirty flags.
+  /// reference verification. The snapshot carries an EpochDelta (shard
+  /// rebuild flags + cross-edge churn accumulated since the previous
+  /// build) for subscription refreshes. Clears the dirty flags and
+  /// delta accumulators.
   std::shared_ptr<const EngineSnapshot> build_snapshot(
       uint64_t epoch, const EngineSnapshot* prev, bool capture_edges);
 
@@ -83,6 +87,11 @@ class ShardRouter {
   std::vector<uint32_t> cross_free_;
   size_t cross_alive_ = 0;
   bool cross_dirty_ = false;
+  // Delta accumulators since the last build_snapshot: cross-edge churn
+  // and its lightest weight, published with the epoch for subscribers.
+  uint32_t delta_cross_ins_ = 0;
+  uint32_t delta_cross_del_ = 0;
+  double delta_cross_min_w_ = std::numeric_limits<double>::infinity();
   std::shared_ptr<const CrossEdgeView> cross_view_;
   std::vector<Loc> locs_;  // by ticket
   std::shared_ptr<EngineStats> stats_;

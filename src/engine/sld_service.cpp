@@ -43,16 +43,28 @@ bool SldService::erase(vertex_id u, vertex_id v) {
 }
 
 uint64_t SldService::flush() {
-  std::lock_guard<std::mutex> lk(flush_mu_);
-  MutationQueue::Drained batch = queue_.drain();
-  if (batch.empty()) return epochs_.cur_epoch();
-  stats_->flushes.fetch_add(1, std::memory_order_relaxed);
-  stats_->ops_applied.fetch_add(batch.size(), std::memory_order_relaxed);
-  stats_->bump_max_batch(batch.size());
-  router_.apply(batch);
-  EpochManager::Snap prev = epochs_.acquire();  // keep alive through build
-  uint64_t e = next_epoch_++;
-  epochs_.publish(router_.build_snapshot(e, prev.get(), cfg_.capture_edges));
+  EpochManager::Snap published;
+  uint64_t e;
+  {
+    std::lock_guard<std::mutex> lk(flush_mu_);
+    MutationQueue::Drained batch = queue_.drain();
+    if (batch.empty()) return epochs_.cur_epoch();
+    stats_->flushes.fetch_add(1, std::memory_order_relaxed);
+    stats_->ops_applied.fetch_add(batch.size(), std::memory_order_relaxed);
+    stats_->bump_max_batch(batch.size());
+    router_.apply(batch);
+    EpochManager::Snap prev = epochs_.acquire();  // keep alive through build
+    e = next_epoch_++;
+    published = router_.build_snapshot(e, prev.get(), cfg_.capture_edges);
+    epochs_.publish(published);
+  }
+  // Notify subscribers outside the flush lock so callbacks may read the
+  // service (snapshot(), view(), even enqueue updates — not flush()).
+  // Concurrent flushes can therefore notify out of order; subscribers
+  // track the max pending epoch.
+  size_t fired = subs_.notify(published);
+  if (fired)
+    stats_->subs_notified.fetch_add(fired, std::memory_order_relaxed);
   return e;
 }
 

@@ -17,6 +17,11 @@
 // new immutable snapshot, and publishes it as the next epoch. Readers
 // never block writers and vice versa: a reader holds a shared_ptr to
 // its epoch for as long as it likes.
+//
+// Long-lived readers subscribe instead of polling: every publish
+// notifies the SubscriptionHub, and a SubscribedView refreshes its
+// resolved ThresholdViews incrementally against the epoch's delta
+// metadata (subscription.hpp) rather than rebuilding per epoch.
 #pragma once
 
 #include <chrono>
@@ -33,6 +38,7 @@
 #include "engine/query.hpp"
 #include "engine/shard_router.hpp"
 #include "engine/stats.hpp"
+#include "engine/subscription.hpp"
 
 namespace dynsld::engine {
 
@@ -100,6 +106,16 @@ class SldService {
     return view().run(queries);
   }
 
+  // ---- subscriptions (push half of the read plane) ----
+
+  /// The publish fan-out point. Long-lived readers normally register by
+  /// constructing a SubscribedView(svc) rather than calling this
+  /// directly; every flush that publishes a new epoch notifies the
+  /// registered subscribers (on the flushing thread, after the flush
+  /// lock is released — callbacks must not call flush()).
+  SubscriptionHub& subscriptions() { return subs_; }
+  const SubscriptionHub& subscriptions() const { return subs_; }
+
   /// Convenience single-shot queries against the current epoch — thin
   /// one-query wrappers over a transient view; batch traffic should use
   /// view()/run() so the merge resolution amortizes.
@@ -126,6 +142,7 @@ class SldService {
   MutationQueue queue_;
   ShardRouter router_;  // guarded by flush_mu_
   EpochManager epochs_;
+  SubscriptionHub subs_;
   uint64_t next_epoch_ = 1;  // guarded by flush_mu_
   std::mutex flush_mu_;
 

@@ -37,9 +37,18 @@ struct EngineStats {
   std::atomic<uint64_t> q_size_histogram{0};
   // -- view plane --
   std::atomic<uint64_t> views_built{0};       // ThresholdView resolutions
-  std::atomic<uint64_t> cross_uf_builds{0};   // cross-shard union-find builds
+  std::atomic<uint64_t> cross_uf_builds{0};   // full cross-shard union-find builds
   std::atomic<uint64_t> batch_runs{0};        // ClusterView::run calls
   std::atomic<uint64_t> batch_queries{0};     // queries executed via run()
+  // -- subscription plane --
+  std::atomic<uint64_t> subs_notified{0};         // publish callbacks fired
+  std::atomic<uint64_t> sub_refreshes{0};         // refresh() calls that advanced
+  std::atomic<uint64_t> refresh_views_reused{0};  // resolution shared wholesale
+  std::atomic<uint64_t> refresh_views_incremental{0};  // dirty shards re-topped
+  std::atomic<uint64_t> refresh_views_full{0};    // cross prefix changed: rebuilt
+  std::atomic<uint64_t> refresh_shards_reused{0};    // clean shards per refresh
+  std::atomic<uint64_t> refresh_shards_rebuilt{0};   // dirty shards per refresh
+  std::atomic<uint64_t> cross_uf_incremental{0};  // incremental blob-UF re-resolves
 
   struct Report {
     uint64_t inserts_enqueued, erases_enqueued, coalesced_pairs,
@@ -47,7 +56,10 @@ struct EngineStats {
         shard_batches, cross_ops, epochs_published, snapshot_build_ns,
         shard_snapshots_built, shard_snapshots_reused, q_same_cluster,
         q_cluster_size, q_cluster_report, q_flat_clustering, q_size_histogram,
-        views_built, cross_uf_builds, batch_runs, batch_queries;
+        views_built, cross_uf_builds, batch_runs, batch_queries, subs_notified,
+        sub_refreshes, refresh_views_reused, refresh_views_incremental,
+        refresh_views_full, refresh_shards_reused, refresh_shards_rebuilt,
+        cross_uf_incremental;
 
     uint64_t queries() const {
       return q_same_cluster + q_cluster_size + q_cluster_report +
@@ -69,7 +81,11 @@ struct EngineStats {
                   r(shard_snapshots_built), r(shard_snapshots_reused),
                   r(q_same_cluster), r(q_cluster_size), r(q_cluster_report),
                   r(q_flat_clustering), r(q_size_histogram), r(views_built),
-                  r(cross_uf_builds), r(batch_runs), r(batch_queries)};
+                  r(cross_uf_builds), r(batch_runs), r(batch_queries),
+                  r(subs_notified), r(sub_refreshes), r(refresh_views_reused),
+                  r(refresh_views_incremental), r(refresh_views_full),
+                  r(refresh_shards_reused), r(refresh_shards_rebuilt),
+                  r(cross_uf_incremental)};
   }
 
   void bump_max_batch(uint64_t sz) {
@@ -100,6 +116,19 @@ inline void print_report(const EngineStats::Report& r, std::FILE* out = stdout) 
                (unsigned long long)r.cross_uf_builds,
                (unsigned long long)r.batch_runs,
                (unsigned long long)r.batch_queries);
+  if (r.subs_notified || r.sub_refreshes)
+    std::fprintf(out,
+                 "subscriptions: %llu notifies  %llu refreshes  views %llu "
+                 "reused / %llu incremental / %llu full  shards %llu reused / "
+                 "%llu rebuilt  cross-uf %llu incremental\n",
+                 (unsigned long long)r.subs_notified,
+                 (unsigned long long)r.sub_refreshes,
+                 (unsigned long long)r.refresh_views_reused,
+                 (unsigned long long)r.refresh_views_incremental,
+                 (unsigned long long)r.refresh_views_full,
+                 (unsigned long long)r.refresh_shards_reused,
+                 (unsigned long long)r.refresh_shards_rebuilt,
+                 (unsigned long long)r.cross_uf_incremental);
 }
 
 }  // namespace dynsld::engine

@@ -1,0 +1,94 @@
+#include "engine/subscription.hpp"
+
+#include "engine/sld_service.hpp"
+
+namespace dynsld::engine {
+
+namespace {
+
+/// Monotone max-store: publishes can notify out of order (flushes race
+/// to the hub after releasing the flush lock), so only raise the mark.
+void store_max(std::atomic<uint64_t>& a, uint64_t e) {
+  uint64_t cur = a.load(std::memory_order_relaxed);
+  while (cur < e && !a.compare_exchange_weak(cur, e,
+                                             std::memory_order_release,
+                                             std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+SubscribedView::SubscribedView(SldService& svc,
+                               std::function<void(uint64_t)> on_publish)
+    : svc_(&svc), hook_(std::move(on_publish)), snap_(svc.snapshot()) {
+  // Capturing `this` is safe: the destructor's remove() serializes with
+  // notify() under the hub lock, so no callback outlives us.
+  token_ = svc.subscriptions().add([this](const EpochManager::Snap& s) {
+    uint64_t e = s->epoch();
+    store_max(pending_, e);
+    if (hook_) hook_(e);
+  });
+  // A publish between pinning snap_ above and registering would be
+  // missed forever (the hub notified nobody); fold the service's
+  // current epoch in so stale() cannot under-report. The hook is not
+  // replayed for that window — subscribers needing every epoch poll
+  // stale() after construction.
+  store_max(pending_, svc.epoch());
+}
+
+SubscribedView::~SubscribedView() { svc_->subscriptions().remove(token_); }
+
+uint64_t SubscribedView::epoch() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return snap_->epoch();
+}
+
+bool SubscribedView::refresh() {
+  EpochManager::Snap snap = svc_->snapshot();
+  std::lock_guard<std::mutex> lk(mu_);
+  // <= not ==: a racing refresh (e.g. from the publish hook) may have
+  // advanced us past the snapshot acquired above — never move a
+  // subscription backwards in epochs.
+  if (snap->epoch() <= snap_->epoch()) return false;
+  for (auto& [tau, view] : views_) {
+    (void)tau;
+    view = ThresholdView::refreshed(view, snap);
+  }
+  snap_ = std::move(snap);
+  const auto& stats = snap_->stats();
+  if (stats) stats->sub_refreshes.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+std::shared_ptr<const ThresholdView> SubscribedView::at_locked(double tau) {
+  auto it = views_.find(tau);
+  if (it != views_.end()) return it->second;
+  auto view = std::make_shared<const ThresholdView>(snap_, tau);
+  views_.emplace(tau, view);
+  return view;
+}
+
+std::shared_ptr<const ThresholdView> SubscribedView::at(double tau) {
+  std::lock_guard<std::mutex> lk(mu_);
+  return at_locked(tau);
+}
+
+std::vector<QueryResult> SubscribedView::run(std::span<const Query> queries) {
+  // Pin every distinct threshold against one epoch up front; the batch
+  // then runs lock-free on immutable views even if refresh() swaps the
+  // cache mid-flight.
+  std::map<double, std::shared_ptr<const ThresholdView>> pinned;
+  std::shared_ptr<EngineStats> stats;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stats = snap_->stats();
+    for (const Query& q : queries) {
+      double tau = query_tau(q);
+      if (!pinned.count(tau)) pinned.emplace(tau, at_locked(tau));
+    }
+  }
+  return detail::run_batch(queries, stats,
+                           [&](double tau) { return pinned.at(tau); });
+}
+
+}  // namespace dynsld::engine

@@ -19,76 +19,20 @@
 #include "engine/replay.hpp"
 #include "engine/sld_service.hpp"
 #include "engine/snapshot.hpp"
+#include "engine/subscription.hpp"
 #include "msf/dynamic_msf.hpp"
 #include "parallel/random.hpp"
+#include "test_util.hpp"
 
 namespace dynsld::engine {
 namespace {
 
-/// Reference partition at threshold tau from the Kruskal-built SLD of
-/// `edges`: label[v] = component representative. The captured edge set
-/// is a graph (it includes cycle-closing edges), while build_kruskal
-/// takes a forest, so first reduce to the MSF under (weight, id) order
-/// — dropping a cycle edge never changes threshold components, because
-/// its endpoints are already connected by edges of smaller rank.
-std::vector<vertex_id> reference_labels(vertex_id n,
-                                        const std::vector<WeightedEdge>& edges,
-                                        double tau) {
-  std::vector<WeightedEdge> sorted(edges);
-  std::sort(sorted.begin(), sorted.end(),
-            [](const WeightedEdge& a, const WeightedEdge& b) {
-              return a.rank() < b.rank();
-            });
-  std::vector<WeightedEdge> forest;
-  {
-    UnionFind uf(n);
-    for (const WeightedEdge& e : sorted) {
-      if (uf.find(e.u) != uf.find(e.v)) {
-        uf.unite(e.u, e.v);
-        forest.push_back(e);
-      }
-    }
-  }
-  Dendrogram ref = build_kruskal(n, forest);
-  UnionFind uf(n);
-  for (edge_id e = 0; e < ref.capacity(); ++e) {
-    if (!ref.alive(e)) continue;
-    const auto& nd = ref.node(e);
-    if (nd.weight <= tau) uf.unite(nd.u, nd.v);
-  }
-  std::vector<vertex_id> label(n);
-  for (vertex_id v = 0; v < n; ++v) label[v] = uf.find(v);
-  return label;
-}
-
-/// Same partition? (Labels themselves may differ.)
-void expect_same_partition(const std::vector<vertex_id>& a,
-                           const std::vector<vertex_id>& b) {
-  ASSERT_EQ(a.size(), b.size());
-  std::map<vertex_id, vertex_id> a2b, b2a;
-  for (size_t v = 0; v < a.size(); ++v) {
-    auto [ia, fresh_a] = a2b.try_emplace(a[v], b[v]);
-    EXPECT_EQ(ia->second, b[v]) << "vertex " << v;
-    auto [ib, fresh_b] = b2a.try_emplace(b[v], a[v]);
-    EXPECT_EQ(ib->second, a[v]) << "vertex " << v;
-  }
-}
-
-uint64_t ref_cluster_size(const std::vector<vertex_id>& label, vertex_id u) {
-  uint64_t k = 0;
-  for (vertex_id l : label) k += l == label[u];
-  return k;
-}
-
-SizeHistogram ref_histogram(const std::vector<vertex_id>& label) {
-  std::map<vertex_id, uint64_t> csize;
-  for (vertex_id l : label) ++csize[l];
-  std::map<uint64_t, uint64_t> hist;
-  for (const auto& [l, s] : csize) ++hist[s];
-  SizeHistogram out;
-  out.bins.assign(hist.begin(), hist.end());
-  return out;
-}
+// Kruskal-reference oracles shared with the fuzz harness
+// (test_fuzz_engine.cpp) live in test_util.hpp.
+using test::expect_same_partition;
+using test::ref_cluster_size;
+using test::ref_histogram;
+using test::reference_labels;
 
 TEST(DendrogramSnapshot, MatchesLiveQueriesOnRandomForest) {
   const vertex_id n = 60;
@@ -144,8 +88,98 @@ TEST(MutationQueue, CoalescesInsertErasePairs) {
   EXPECT_FALSE(q.enqueue_erase(b));
   d = q.drain();
   ASSERT_EQ(d.erases.size(), 1u);
-  EXPECT_EQ(d.erases[0], b);
+  EXPECT_EQ(d.erases[0].ticket, b);
+  // The queued erase carries its ledger-resolved endpoints.
+  EXPECT_EQ(d.erases[0].u, 1u);
+  EXPECT_EQ(d.erases[0].v, 2u);
   EXPECT_EQ(stats.duplicate_erases.load(), 1u);
+}
+
+/// Ticket-ledger edge cases around the batch dirty set: annihilation
+/// must leave the dirty set empty, double erases must not double-mark,
+/// and re-insert-after-erase inside one batch dirties the shard exactly
+/// once through both ops.
+TEST(MutationQueue, AnnihilationLeavesDirtySetEmpty) {
+  const ShardMap map = ShardMap::make(40, 2);  // stride 20
+  EngineStats stats;
+  MutationQueue q(&stats);
+
+  // Erase-by-endpoints of a not-yet-flushed insert: annihilates in the
+  // queue; the drained batch is empty and dirties nothing.
+  q.enqueue_insert(1, 2, 0.5);
+  EXPECT_TRUE(q.enqueue_erase(vertex_id{1}, vertex_id{2}));
+  auto d = q.drain();
+  EXPECT_TRUE(d.empty());
+  EXPECT_FALSE(d.dirty_set(map).any());
+  EXPECT_EQ(stats.coalesced_pairs.load(), 1u);
+
+  // Same via ticket, cross-shard edge: still nothing reaches the
+  // shards, and the cross flag stays clear.
+  ticket_t t = q.enqueue_insert(3, 25, 0.7);
+  q.enqueue_erase(t);
+  d = q.drain();
+  EXPECT_TRUE(d.empty());
+  auto dirty = d.dirty_set(map);
+  EXPECT_FALSE(dirty.any());
+  EXPECT_FALSE(dirty.cross);
+}
+
+TEST(MutationQueue, DoubleEraseMarksDirtyOnce) {
+  const ShardMap map = ShardMap::make(40, 2);
+  EngineStats stats;
+  MutationQueue q(&stats);
+  ticket_t t = q.enqueue_insert(21, 22, 0.4);  // shard 1
+  (void)q.drain();                             // "applied"
+  EXPECT_TRUE(q.enqueue_erase(t));
+  EXPECT_FALSE(q.enqueue_erase(t));                           // duplicate ticket
+  EXPECT_FALSE(q.enqueue_erase(vertex_id{21}, vertex_id{22}));  // ledger gone
+  auto d = q.drain();
+  ASSERT_EQ(d.erases.size(), 1u);
+  EXPECT_EQ(d.erases[0].u, 21u);
+  auto dirty = d.dirty_set(map);
+  EXPECT_EQ(dirty.shards[0], 0);
+  EXPECT_EQ(dirty.shards[1], 1);
+  EXPECT_FALSE(dirty.cross);
+  EXPECT_EQ(stats.duplicate_erases.load(), 2u);
+}
+
+TEST(MutationQueue, ReinsertAfterEraseInOneBatch) {
+  const ShardMap map = ShardMap::make(40, 2);
+  MutationQueue q;
+  ticket_t old_t = q.enqueue_insert(5, 6, 0.9);
+  (void)q.drain();  // applied in an earlier epoch
+
+  // One batch: erase the applied copy, then insert a replacement.
+  EXPECT_TRUE(q.enqueue_erase(vertex_id{5}, vertex_id{6}));
+  ticket_t new_t = q.enqueue_insert(5, 6, 0.2);
+  auto d = q.drain();
+  ASSERT_EQ(d.inserts.size(), 1u);
+  ASSERT_EQ(d.erases.size(), 1u);
+  EXPECT_EQ(d.erases[0].ticket, old_t);
+  EXPECT_EQ(d.inserts[0].ticket, new_t);
+  auto dirty = d.dirty_set(map);
+  EXPECT_EQ(dirty.shards[0], 1);
+  EXPECT_EQ(dirty.shards[1], 0);
+  // The replacement is the live (5, 6) copy now.
+  EXPECT_TRUE(q.enqueue_erase(vertex_id{6}, vertex_id{5}));
+  EXPECT_FALSE(q.enqueue_erase(vertex_id{5}, vertex_id{6}));
+}
+
+/// Service-level annihilation: a churn-only batch publishes no epoch,
+/// so subscribers are not notified and nothing refreshes.
+TEST(SldService, AnnihilatedBatchPublishesNoEpoch) {
+  ServiceConfig cfg;
+  cfg.num_vertices = 16;
+  SldService svc(cfg);
+  int notified = 0;
+  SubscribedView sub(svc, [&](uint64_t) { ++notified; });
+  uint64_t before = svc.epoch();
+  ticket_t t = svc.insert(2, 3, 0.5);
+  svc.erase(t);
+  EXPECT_EQ(svc.flush(), before);  // empty batch: same epoch
+  EXPECT_EQ(notified, 0);
+  EXPECT_FALSE(sub.stale());
+  EXPECT_EQ(svc.stats().subs_notified, 0u);
 }
 
 TEST(MutationQueue, PreservesInsertOrder) {
@@ -627,6 +661,179 @@ TEST(SldService, BackgroundWriterPublishesEpochs) {
   EXPECT_EQ(svc.pending_updates(), 0u);
   EXPECT_GE(svc.epoch(), 1u);
   EXPECT_GT(svc.snapshot()->num_tree_edges(), 0u);
+}
+
+namespace {
+
+/// Seed an 8-shard service (stride 8) with intra edges in every shard
+/// plus sub-tau cross edges whose endpoints span all shards, so a
+/// refresh at tau exercises the incremental path.
+void seed_eight_shards(SldService& svc, par::Rng& rng) {
+  for (int k = 0; k < 8; ++k) {
+    for (int i = 0; i < 14; ++i) {
+      auto [u, v] = test::random_block_pair(rng, static_cast<vertex_id>(k) * 8, 8);
+      svc.insert(u, v, rng.next_double() * 0.5);
+    }
+  }
+  for (int k = 0; k < 8; ++k) {  // one sub-tau cross endpoint per shard
+    vertex_id u = static_cast<vertex_id>(k) * 8 + rng.next_bounded(8);
+    vertex_id v = static_cast<vertex_id>((k + 3) % 8) * 8 + rng.next_bounded(8);
+    svc.insert(u, v, 0.1 + 0.3 * rng.next_double());
+  }
+  svc.flush();
+}
+
+}  // namespace
+
+/// The acceptance scenario: with 1 of 8 shards dirty per flush, a
+/// subscription refresh reuses the 7 clean shards (counter-verified)
+/// and answers bit-for-bit like a freshly built view.
+TEST(SubscribedView, HotShardRefreshReusesCleanShards) {
+  const vertex_id n = 64;
+  ServiceConfig cfg;
+  cfg.num_vertices = n;
+  cfg.num_shards = 8;
+  cfg.capture_edges = true;
+  SldService svc(cfg);
+  par::Rng rng = test::test_rng();
+  seed_eight_shards(svc, rng);
+
+  const double tau = 0.6;
+  SubscribedView sub(svc);
+  sub.at(tau);  // initial full resolution
+
+  for (int round = 0; round < 6; ++round) {
+    // Churn confined to shard 0: intra edges over vertices [0, 8).
+    for (int i = 0; i < 10; ++i) {
+      auto [u, v] = test::random_block_pair(rng, 0, 8);
+      svc.insert(u, v, rng.next_double());
+    }
+    svc.flush();
+    EXPECT_TRUE(sub.stale());
+    // The published delta records the flush's footprint: shard 0
+    // rebuilt, the rest untouched, no cross churn.
+    {
+      const EpochDelta& d = svc.snapshot()->delta();
+      EXPECT_EQ(d.num_rebuilt(), 1);
+      EXPECT_EQ(d.shard_rebuilt[0], 1);
+      EXPECT_FALSE(d.cross_changed());
+      EXPECT_EQ(d.cross_inserted + d.cross_erased, 0u);
+    }
+    auto before = svc.stats();
+    ASSERT_TRUE(sub.refresh());
+    auto after = svc.stats();
+    EXPECT_EQ(after.refresh_shards_reused - before.refresh_shards_reused, 7u);
+    EXPECT_EQ(after.refresh_shards_rebuilt - before.refresh_shards_rebuilt, 1u);
+    EXPECT_EQ(after.refresh_views_full, before.refresh_views_full);
+    // Shard 0 hosts a cross endpoint, so the refresh is incremental,
+    // not a wholesale reuse.
+    EXPECT_EQ(after.cross_uf_incremental - before.cross_uf_incremental, 1u);
+
+    // Bit-for-bit against a freshly resolved view, and against the
+    // Kruskal oracle.
+    auto snap = svc.snapshot();
+    ASSERT_EQ(sub.epoch(), snap->epoch());
+    auto tv = sub.at(tau);
+    auto fresh = ClusterView(snap).at(tau);
+    EXPECT_EQ(tv->flat_clustering(), fresh->flat_clustering());
+    EXPECT_EQ(tv->size_histogram(), fresh->size_histogram());
+    auto ref = reference_labels(n, snap->captured_edges(), tau);
+    expect_same_partition(ref, tv->flat_clustering());
+    for (int q = 0; q < 40; ++q) {
+      auto [s, t] = test::random_distinct_pair(rng, n);
+      EXPECT_EQ(tv->same_cluster(s, t), ref[s] == ref[t]) << "s=" << s << " t=" << t;
+      EXPECT_EQ(tv->cluster_size(s), ref_cluster_size(ref, s));
+    }
+  }
+}
+
+/// Cross-edge churn strictly above the threshold keeps the sub-tau
+/// prefix intact: the single-step delta proves it and the refresh stays
+/// incremental; churn at or below tau forces the full re-resolve.
+TEST(SubscribedView, CrossDeltaGatesFullResolve) {
+  const vertex_id n = 64;
+  ServiceConfig cfg;
+  cfg.num_vertices = n;
+  cfg.num_shards = 8;
+  cfg.capture_edges = true;
+  SldService svc(cfg);
+  par::Rng rng = test::test_rng();
+  seed_eight_shards(svc, rng);
+
+  const double tau = 0.6;
+  SubscribedView sub(svc);
+  sub.at(tau);
+
+  // A cross edge above tau: the delta's cross_min_w exceeds tau, so the
+  // resolution survives (no full rebuild).
+  svc.insert(2, 50, 0.9);
+  svc.flush();
+  EXPECT_GT(svc.snapshot()->delta().cross_min_w, tau);
+  auto before = svc.stats();
+  ASSERT_TRUE(sub.refresh());
+  auto after = svc.stats();
+  EXPECT_EQ(after.refresh_views_full, before.refresh_views_full);
+  EXPECT_EQ(after.refresh_views_reused +
+                after.refresh_views_incremental -
+                before.refresh_views_reused - before.refresh_views_incremental,
+            1u);
+
+  // A cross edge below tau changes the prefix: full re-resolve.
+  svc.insert(3, 40, 0.2);
+  svc.flush();
+  before = svc.stats();
+  ASSERT_TRUE(sub.refresh());
+  after = svc.stats();
+  EXPECT_EQ(after.refresh_views_full - before.refresh_views_full, 1u);
+
+  // Either way the refreshed view matches a fresh one exactly.
+  auto snap = svc.snapshot();
+  auto fresh = ClusterView(snap).at(tau);
+  EXPECT_EQ(sub.at(tau)->flat_clustering(), fresh->flat_clustering());
+  auto ref = reference_labels(n, snap->captured_edges(), tau);
+  expect_same_partition(ref, sub.at(tau)->flat_clustering());
+}
+
+/// Register/refresh/unregister lifecycle: publishes bump the pending
+/// epoch and fire the hook; refresh catches up (also across several
+/// skipped epochs); destruction unregisters.
+TEST(SubscribedView, LifecycleAndNotifications) {
+  ServiceConfig cfg;
+  cfg.num_vertices = 40;
+  cfg.num_shards = 2;
+  SldService svc(cfg);
+  EXPECT_EQ(svc.subscriptions().size(), 0u);
+  {
+    std::vector<uint64_t> hook_epochs;
+    SubscribedView sub(svc, [&](uint64_t e) { hook_epochs.push_back(e); });
+    EXPECT_EQ(svc.subscriptions().size(), 1u);
+    EXPECT_EQ(sub.epoch(), 0u);
+    EXPECT_FALSE(sub.stale());
+    EXPECT_FALSE(sub.refresh());  // nothing published yet
+
+    svc.insert(1, 2, 0.3);
+    svc.flush();
+    svc.insert(21, 22, 0.4);
+    svc.flush();  // two epochs behind now
+    EXPECT_TRUE(sub.stale());
+    EXPECT_EQ(sub.pending_epoch(), 2u);
+    ASSERT_EQ(hook_epochs.size(), 2u);
+    EXPECT_TRUE(sub.refresh());
+    EXPECT_EQ(sub.epoch(), 2u);
+    EXPECT_FALSE(sub.stale());
+    EXPECT_FALSE(sub.refresh());  // idempotent
+
+    // Batch API serves the subscription's pinned epoch.
+    std::vector<Query> batch = {SameClusterQuery{1, 2, 0.5},
+                                ClusterSizeQuery{21, 0.5}};
+    auto results = sub.run(batch);
+    EXPECT_TRUE(std::get<bool>(results[0]));
+    EXPECT_EQ(std::get<uint64_t>(results[1]), 2u);
+  }
+  EXPECT_EQ(svc.subscriptions().size(), 0u);  // unregistered
+  svc.insert(5, 6, 0.1);
+  svc.flush();  // notifies nobody, crashes nothing
+  EXPECT_EQ(svc.stats().subs_notified, 2u);
 }
 
 /// Replay driver smoke test: the sliding-window trace ends with the

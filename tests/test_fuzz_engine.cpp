@@ -1,0 +1,327 @@
+// Randomized differential harness for the serving engine — many
+// generated workloads, one oracle (the spirit of scenario-diverse
+// benchmark suites: coverage breadth over hand-picked cases).
+//
+// Each schedule is a seeded interleaving of insert / erase-by-ticket /
+// erase-by-endpoints / flush over a parameterized scenario (uneven
+// shards, erase-heavy churn, single-shard hotspots, all-cross-edges).
+// After every published epoch the harness checks three ways at several
+// thresholds:
+//
+//   1. the subscription-refreshed ThresholdView answers bit-for-bit
+//      like a freshly resolved view of the same snapshot (labels and
+//      histograms as exact vector equality — both derive from the same
+//      deterministic union-find pass, so any divergence is a refresh
+//      bug, not an ordering artifact);
+//   2. both match the Kruskal reference partition of the epoch's
+//      captured edge set (partition equality, sampled pair/size/report
+//      queries);
+//   3. refresh bookkeeping: the subscription serves exactly the
+//      published epoch.
+//
+// Seeds are printed on failure (SCOPED_TRACE) for replay; set
+// DYNSLD_FUZZ_SEEDS to scale the run (default 1000 schedules across
+// the scenarios — CI's TSan leg runs fewer), or DYNSLD_FUZZ_SEED to
+// replay one specific seed in every scenario.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <iterator>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/cluster_view.hpp"
+#include "engine/query.hpp"
+#include "engine/sld_service.hpp"
+#include "engine/subscription.hpp"
+#include "parallel/random.hpp"
+#include "test_util.hpp"
+
+namespace dynsld::engine {
+namespace {
+
+using test::expect_same_partition;
+using test::ref_cluster_size;
+using test::ref_histogram;
+using test::reference_labels;
+
+struct Scenario {
+  const char* name;        // printed in failure traces
+  const char* param_label; // gtest parameterized-test suffix (alphanumeric)
+  vertex_id n;
+  int shards;
+  int steps;
+  double erase_prob;  // per step: erase a live edge instead of inserting
+  double cross_frac;  // per insert: force a cross-shard edge
+  int hot_shard;      // >= 0: pin this fraction of intra inserts there
+  double hot_frac;
+  int flush_every;
+};
+
+// Four qualitatively different workloads; ~250 seeds each by default.
+constexpr Scenario kScenarios[] = {
+    // Stride 13 over 4 shards: the last shard is short (11 vertices),
+    // exercising shard-local vertex spaces at every boundary.
+    {"uneven_shards", "UnevenShards", 50, 4, 72, 0.30, 0.30, -1, 0.0, 12},
+    // Deletion-dominated: replacement scans, annihilation, and empty
+    // epochs are the common case.
+    {"erase_heavy", "EraseHeavy", 48, 3, 90, 0.55, 0.20, -1, 0.0, 15},
+    // One shard of eight takes 90% of the intra traffic: the refresh
+    // path should reuse the other seven (counter-checked below).
+    {"hotspot", "Hotspot", 64, 8, 72, 0.25, 0.15, 0, 0.9, 12},
+    // Every edge crosses shards: the cross table and the blob
+    // union-find ARE the clustering; shard dendrograms stay empty.
+    {"all_cross", "AllCross", 40, 4, 60, 0.30, 1.0, -1, 0.0, 10},
+};
+
+int fuzz_seeds() {
+  if (const char* s = std::getenv("DYNSLD_FUZZ_SEEDS")) {
+    int v = std::atoi(s);
+    if (v > 0) return v;
+  }
+  return 1000;
+}
+
+struct LiveEdge {
+  ticket_t ticket;
+  vertex_id u, v;
+};
+
+/// One seeded schedule through `sc`; every published epoch is verified.
+void run_schedule(const Scenario& sc, uint64_t seed) {
+  SCOPED_TRACE(std::string("scenario=") + sc.name +
+               " seed=" + std::to_string(seed) +
+               "  (replay: DYNSLD_FUZZ_SEED=" + std::to_string(seed) + ")");
+  ServiceConfig cfg;
+  cfg.num_vertices = sc.n;
+  cfg.num_shards = sc.shards;
+  cfg.capture_edges = true;
+  SldService svc(cfg);
+  // By value: the epoch-0 snapshot this comes from is superseded later.
+  const ShardMap map = svc.snapshot()->shard_map();
+
+  par::Rng rng(seed);
+  // Three thresholds: two fixed in the interesting band, one seeded.
+  const double taus[3] = {0.25, 0.7, 0.05 + 0.9 * rng.next_double()};
+
+  SubscribedView sub(svc);
+  for (double tau : taus) sub.at(tau);  // initial full resolutions
+
+  auto pick_insert = [&]() -> std::pair<vertex_id, vertex_id> {
+    if (rng.next_double() < sc.cross_frac && sc.shards > 1) {
+      // Cross-shard: endpoints with different homes.
+      vertex_id u, v;
+      do {
+        u = static_cast<vertex_id>(rng.next_bounded(sc.n));
+        v = static_cast<vertex_id>(rng.next_bounded(sc.n));
+      } while (u == v || map.home(u) == map.home(v));
+      return {u, v};
+    }
+    int k = sc.hot_shard >= 0 && rng.next_double() < sc.hot_frac
+                ? sc.hot_shard
+                : static_cast<int>(rng.next_bounded(sc.shards));
+    vertex_id size = map.local_size(k);
+    if (size < 2) return test::random_distinct_pair(rng, sc.n);
+    return test::random_block_pair(rng, map.base(k), size);
+  };
+
+  std::vector<LiveEdge> live;
+  for (int step = 0; step < sc.steps; ++step) {
+    if (!live.empty() && rng.next_double() < sc.erase_prob) {
+      size_t j = rng.next_bounded(live.size());
+      if (rng.next_double() < 0.5) {
+        svc.erase(live[j].ticket);
+      } else {
+        EXPECT_TRUE(svc.erase(live[j].u, live[j].v));
+      }
+      live[j] = live.back();
+      live.pop_back();
+    } else {
+      auto [u, v] = pick_insert();
+      live.push_back(LiveEdge{svc.insert(u, v, rng.next_double()), u, v});
+    }
+    if (step % sc.flush_every != sc.flush_every - 1) continue;
+
+    uint64_t epoch = svc.flush();
+    sub.refresh();
+    auto snap = svc.snapshot();
+    ASSERT_EQ(snap->epoch(), epoch);
+    ASSERT_EQ(sub.epoch(), epoch);
+
+    ClusterView fresh_view(snap);
+    for (double tau : taus) {
+      SCOPED_TRACE("epoch=" + std::to_string(epoch) +
+                   " tau=" + std::to_string(tau));
+      auto subv = sub.at(tau);
+      auto fresh = fresh_view.at(tau);
+      ASSERT_EQ(subv->epoch(), epoch);
+
+      // (1) Refreshed view == fresh view, bit for bit.
+      ASSERT_EQ(subv->flat_clustering(), fresh->flat_clustering());
+      ASSERT_EQ(subv->size_histogram(), fresh->size_histogram());
+
+      // (2) Both == the Kruskal oracle.
+      auto ref = reference_labels(sc.n, snap->captured_edges(), tau);
+      expect_same_partition(ref, subv->flat_clustering());
+      ASSERT_EQ(subv->size_histogram(), ref_histogram(ref));
+      for (int q = 0; q < 12; ++q) {
+        auto [s, t] = test::random_distinct_pair(rng, sc.n);
+        ASSERT_EQ(subv->same_cluster(s, t), ref[s] == ref[t])
+            << "s=" << s << " t=" << t;
+        ASSERT_EQ(fresh->same_cluster(s, t), ref[s] == ref[t]);
+      }
+      vertex_id u = static_cast<vertex_id>(rng.next_bounded(sc.n));
+      ASSERT_EQ(subv->cluster_size(u), ref_cluster_size(ref, u));
+      // Reports may order members differently across refresh histories;
+      // compare as sets.
+      auto rep_sub = subv->cluster_report(u);
+      auto rep_fresh = fresh->cluster_report(u);
+      std::sort(rep_sub.begin(), rep_sub.end());
+      std::sort(rep_fresh.begin(), rep_fresh.end());
+      ASSERT_EQ(rep_sub, rep_fresh);
+      ASSERT_EQ(rep_sub.size(), ref_cluster_size(ref, u));
+    }
+  }
+}
+
+class FuzzEngine : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzEngine, DifferentialSchedules) {
+  const Scenario& sc = kScenarios[GetParam()];
+  if (const char* s = std::getenv("DYNSLD_FUZZ_SEED")) {
+    run_schedule(sc, std::strtoull(s, nullptr, 10));
+    return;
+  }
+  int per_scenario =
+      std::max(1, fuzz_seeds() / static_cast<int>(std::size(kScenarios)));
+  for (int i = 0; i < per_scenario; ++i) {
+    // Distinct streams per scenario; the seed printed on failure replays
+    // this exact schedule via DYNSLD_FUZZ_SEED.
+    uint64_t seed = par::hash64(static_cast<uint64_t>(GetParam()) * 1000003u + i);
+    run_schedule(sc, seed);
+    if (::testing::Test::HasFailure()) {
+      ADD_FAILURE() << "stopping scenario '" << sc.name
+                    << "' after first failing seed " << seed;
+      return;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Scenarios, FuzzEngine,
+                         ::testing::Range(0, static_cast<int>(std::size(kScenarios))),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return kScenarios[info.param].param_label;
+                         });
+
+/// The hotspot scenario must actually exercise the reuse machinery, not
+/// just pass: across a full run, most per-refresh shard work is reuse.
+TEST(FuzzEngine, HotspotSchedulesReuseShards) {
+  const Scenario& sc = kScenarios[2];
+  ASSERT_STREQ(sc.name, "hotspot");
+  // A couple of schedules are plenty for the counters to accumulate.
+  for (uint64_t seed : {7u, 8u}) run_schedule(sc, seed);
+  // Counters are per-service, so re-run one schedule and inspect.
+  ServiceConfig cfg;
+  cfg.num_vertices = sc.n;
+  cfg.num_shards = sc.shards;
+  SldService svc(cfg);
+  SubscribedView sub(svc);
+  const double tau = 0.5;
+  sub.at(tau);
+  par::Rng rng(99);
+  for (int round = 0; round < 8; ++round) {
+    for (int i = 0; i < 10; ++i) {
+      auto [u, v] = test::random_block_pair(rng, 0, 8);  // shard 0 only
+      svc.insert(u, v, rng.next_double());
+    }
+    svc.flush();
+    sub.refresh();
+  }
+  auto r = svc.stats();
+  EXPECT_EQ(r.sub_refreshes, 8u);
+  EXPECT_EQ(r.refresh_shards_reused, 8u * 7u);
+  EXPECT_EQ(r.refresh_shards_rebuilt, 8u * 1u);
+  EXPECT_EQ(r.refresh_views_full, 0u);
+}
+
+/// Concurrent epoch turnover: the background writer publishes epochs
+/// whose notifications refresh a subscription *on the writer thread*
+/// (via the publish hook) while the main thread runs typed batches
+/// against the same subscription — the writer->reader notification
+/// edge the TSan CI job watches, and the scheduler-claim-gate
+/// composition (both sides may fan out on the fork-join pool).
+TEST(FuzzEngine, ConcurrentNotifyRefreshVsReaderBatches) {
+  const vertex_id n = 96;
+  ServiceConfig cfg;
+  cfg.num_vertices = n;
+  cfg.num_shards = 4;
+  cfg.flush_threshold = 24;
+  cfg.flush_interval = std::chrono::microseconds(100);
+  SldService svc(cfg);
+
+  std::atomic<uint64_t> notifies{0};
+  std::optional<SubscribedView> sub;
+  sub.emplace(svc, [&](uint64_t) {
+    notifies.fetch_add(1, std::memory_order_relaxed);
+    sub->refresh();  // on the publishing (writer) thread
+  });
+  sub->at(0.3);
+  sub->at(0.7);
+  svc.start_writer();
+
+  std::thread producer([&] {
+    par::Rng rng(2026);
+    std::vector<ticket_t> live;
+    for (int i = 0; i < 4000; ++i) {
+      if (!live.empty() && rng.next_double() < 0.35) {
+        size_t j = rng.next_bounded(live.size());
+        svc.erase(live[j]);
+        live[j] = live.back();
+        live.pop_back();
+      } else {
+        auto [u, v] = test::random_distinct_pair(rng, n);
+        live.push_back(svc.insert(u, v, rng.next_double()));
+      }
+      if (i % 400 == 399) std::this_thread::yield();
+    }
+  });
+
+  par::Rng qrng(7);
+  uint64_t batches = 0;
+  while (notifies.load(std::memory_order_relaxed) < 4 || batches < 50) {
+    std::vector<Query> batch;
+    for (double tau : {0.3, 0.7}) {
+      auto [u, v] = test::random_distinct_pair(qrng, n);
+      batch.push_back(SameClusterQuery{u, u, tau});  // reflexive: always true
+      batch.push_back(SameClusterQuery{u, v, tau});
+      batch.push_back(ClusterSizeQuery{u, tau});
+    }
+    auto results = sub->run(batch);
+    for (size_t i = 0; i < results.size(); i += 3) {
+      ASSERT_TRUE(std::get<bool>(results[i]));
+      ASSERT_GE(std::get<uint64_t>(results[i + 2]), 1u);
+    }
+    ++batches;
+    if (batches > 5000) break;  // liveness guard
+  }
+
+  producer.join();
+  svc.stop_writer();
+  // Catch up and verify the final epoch exactly.
+  sub->refresh();
+  auto snap = svc.snapshot();
+  ClusterView fresh(snap);
+  for (double tau : {0.3, 0.7})
+    ASSERT_EQ(sub->at(tau)->flat_clustering(),
+              fresh.at(tau)->flat_clustering());
+  EXPECT_GT(notifies.load(), 0u);
+  EXPECT_GT(svc.stats().sub_refreshes, 0u);
+  sub.reset();  // unregister before the service dies
+}
+
+}  // namespace
+}  // namespace dynsld::engine
