@@ -18,6 +18,11 @@
 //      of eight; a SubscribedView refreshing per epoch (incremental:
 //      clean shards' endpoint tops reused, blob union-find re-run) vs
 //      a fresh view()+at(tau) (full resolution) per epoch.
+//   6. Flat-label maintenance: same skewed traffic; the refreshed
+//      view's flat_clustering() patches the previous epoch's label
+//      array (dirty shard ranges + cross groups) vs the fresh view's
+//      full relabel — the labels_patched/labels_rebuilt counters prove
+//      which path ran.
 //
 //   $ ./bench_engine [--smoke]     (--smoke: tiny sizes, CI rot check)
 #include <chrono>
@@ -331,6 +336,102 @@ static void subscription_refresh(bool smoke) {
                rounds - sanity);
 }
 
+static void label_maintenance(bool smoke) {
+  bench::header("E-ENGINE-6",
+                "flat labels: patched on refresh vs full relabel (1 of 8 "
+                "shards dirty)");
+  const int shards = 8, block = smoke ? 256 : 8192;
+  const vertex_id n = static_cast<vertex_id>(shards) * block;
+  const double tau = 0.6;
+  ServiceConfig cfg;
+  cfg.num_vertices = n;
+  cfg.num_shards = shards;
+  SldService svc(cfg);
+  par::Rng rng(47);
+
+  // Dense intra-shard structure plus sub-tau cross edges spanning all
+  // shards: the label pass has real per-shard work to skip and real
+  // cross-group fixups to redo.
+  for (int k = 0; k < shards; ++k) {
+    vertex_id base = static_cast<vertex_id>(k) * block;
+    for (int i = 0; i < 3 * block; ++i) {
+      vertex_id u = base + rng.next_bounded(block), v;
+      do {
+        v = base + rng.next_bounded(block);
+      } while (v == u);
+      svc.insert(u, v, rng.next_double());
+    }
+  }
+  const int cross = smoke ? 800 : 6000;
+  for (int i = 0; i < cross; ++i) {
+    vertex_id u = rng.next_bounded(n), v;
+    do {
+      v = rng.next_bounded(n);
+    } while (v / block == u / block);
+    svc.insert(u, v, rng.next_double());
+  }
+  svc.flush();
+
+  SubscribedView sub(svc);
+  sub.at(tau)->flat_clustering();  // initial full materialization (not timed)
+
+  const int rounds = smoke ? 30 : 100, churn = smoke ? 64 : 256;
+  std::vector<ticket_t> hot_live;
+  double full_ms = 0, patched_ms = 0;
+  size_t sanity = 0;
+  auto before = svc.stats();
+  for (int r = 0; r < rounds; ++r) {
+    for (int i = 0; i < churn; ++i) {  // every op lands inside shard 0
+      if (!hot_live.empty() && rng.next_double() < 0.4) {
+        size_t j = rng.next_bounded(hot_live.size());
+        svc.erase(hot_live[j]);
+        hot_live[j] = hot_live.back();
+        hot_live.pop_back();
+      } else {
+        vertex_id u = rng.next_bounded(block), v;
+        do {
+          v = rng.next_bounded(block);
+        } while (v == u);
+        hot_live.push_back(svc.insert(u, v, rng.next_double()));
+      }
+    }
+    svc.flush();
+
+    // Both sides resolve their view first; only the lazy label
+    // materialization is timed (the resolution delta is E-ENGINE-5).
+    ClusterView fresh = svc.view();
+    auto ftv = fresh.at(tau);
+    double t0 = now_ms();
+    const auto& full = ftv->flat_clustering();  // global relabel
+    full_ms += now_ms() - t0;
+
+    sub.refresh();
+    auto stv = sub.at(tau);
+    t0 = now_ms();
+    const auto& patched = stv->flat_clustering();  // copy + patch
+    patched_ms += now_ms() - t0;
+
+    sanity += full == patched && ftv->size_histogram() == stv->size_histogram();
+  }
+  auto after = svc.stats();
+
+  bench::row("%-26s %d shards x %d vertices, %zu cross edges, %d epochs",
+             "skewed-churn workload:", shards, block,
+             (size_t)svc.snapshot()->cross().size(), rounds);
+  bench::row("%-26s %10.3f ms/epoch", "full relabel (fresh):",
+             full_ms / rounds);
+  bench::row("%-26s %10.3f ms/epoch  %.1fx", "patched labels (refresh):",
+             patched_ms / rounds, patched_ms > 0 ? full_ms / patched_ms : 0.0);
+  bench::row("%-26s %llu rebuilt / %llu patched / %llu reused",
+             "label materializations:",
+             (unsigned long long)(after.labels_rebuilt - before.labels_rebuilt),
+             (unsigned long long)(after.labels_patched - before.labels_patched),
+             (unsigned long long)(after.labels_reused - before.labels_reused));
+  if (sanity != static_cast<size_t>(rounds))
+    bench::row("WARNING: patched/full label divergence in %zu rounds",
+               rounds - sanity);
+}
+
 int main(int argc, char** argv) {
   bool smoke = false;
   for (int i = 1; i < argc; ++i)
@@ -341,5 +442,6 @@ int main(int argc, char** argv) {
   coalescing(smoke);
   view_amortization(smoke);
   subscription_refresh(smoke);
+  label_maintenance(smoke);
   return 0;
 }

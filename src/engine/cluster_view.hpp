@@ -20,8 +20,10 @@
 //   same_cluster   O(log h)         two top_of lookups + group compare
 //   cluster_size   O(log h)         one top_of + group aggregate
 //   cluster_report O(log h + |S|)   walk the group's blob member lists
-//   flat_clustering / size_histogram  O(n) label materialization,
-//                                     computed once per view (call_once)
+//   flat_clustering / size_histogram  O(n) label materialization on a
+//                                     fresh view, computed lazily once;
+//                                     O(n/K * dirty + X) patched on a
+//                                     refreshed view (see below)
 //
 // The build is O(X log h + X alpha) for X sub-tau cross edges —
 // independent of n and of the query count, which is the whole point:
@@ -46,6 +48,23 @@
 //                below tau) -> resolve from scratch, as the paper's
 //                locality argument no longer applies.
 //
+// Flat labels carry across epochs the same way. Labels are canonical —
+// a cluster's label is a pure function of the shard snapshots and the
+// resolution (DendrogramSnapshot::FlatLabels + min-over-group fixups),
+// never of traversal order — so a patched array and a from-scratch
+// array agree bit-for-bit. refreshed() hands the new view a LabelSeed
+// (the previous epoch's materialized label blocks); the first
+// flat_clustering()/size_histogram() on the new view then copies the
+// previous flat array and re-labels only the vertex ranges of rebuilt
+// shards plus the members of cross-merge groups, instead of re-running
+// the global O(n) pass: O(n/K * dirty_shards + X) plus one memcpy.
+// Per-shard label blocks of clean shards are shared by pointer; the
+// size histogram reassembles from per-shard histograms and group sizes
+// without touching the O(n) array. EpochDelta::label_patch_viable
+// gates the seed: when the rebuilt vertex mass is a majority of n the
+// copy stops paying and the view rebuilds (labels_rebuilt vs
+// labels_patched vs labels_reused in EngineStats).
+//
 // ClusterView is a cheap value type (two shared_ptrs): it pins the
 // epoch like EngineSnapshot does and memoizes ThresholdViews by tau.
 // run() executes a typed Query batch: group by tau, resolve each
@@ -65,6 +84,13 @@
 
 namespace dynsld::engine {
 
+/// One epoch resolved at one threshold: the unit of amortization of
+/// the read plane. Construction pins the epoch (holds the snapshot
+/// shared_ptr) and pays all tau-dependent merge work exactly once;
+/// every query afterwards is a pure read on immutable state, safe from
+/// any number of threads with no further synchronization — except the
+/// two flat materializations, which build lazily once under an
+/// internal mutex and are immutable after that.
 class ThresholdView {
  public:
   /// Resolve `snap` at threshold tau (one cross-shard union-find
@@ -75,7 +101,13 @@ class ThresholdView {
   /// Refresh `prev` onto `snap` (same threshold, newer epoch): shares
   /// or incrementally rebuilds the merge resolution depending on what
   /// the epochs in between actually changed — see the header comment.
-  /// Returns `prev` itself when the epoch did not advance.
+  /// Also threads `prev`'s materialized flat labels through as the new
+  /// view's patch basis, so a later flat_clustering()/size_histogram()
+  /// re-labels only dirty shards and cross groups instead of running
+  /// the global pass. Returns `prev` itself when the epoch did not
+  /// advance. Thread-safe and never waits behind an in-flight label
+  /// materialization in `prev` (it propagates the unconsumed patch
+  /// basis instead).
   static std::shared_ptr<const ThresholdView> refreshed(
       const std::shared_ptr<const ThresholdView>& prev,
       EpochManager::Snap snap);
@@ -86,12 +118,20 @@ class ThresholdView {
 
   // ---- §6.1 queries, all const and thread-safe ----
 
+  /// Are s and t in one cluster at tau()? O(log h).
   bool same_cluster(vertex_id s, vertex_id t) const;
+  /// Vertex count of u's cluster at tau(). O(log h).
   uint64_t cluster_size(vertex_id u) const;
+  /// All members of u's cluster at tau(). O(log h + |cluster|).
   std::vector<vertex_id> cluster_report(vertex_id u) const;
-  /// Both O(n) materializations happen once per view (call_once) and
-  /// return references into it — copy if you outlive the view.
+  /// Canonical label per vertex (equal within a cluster; the label is a
+  /// member vertex). Materialized lazily, once per view, and patched
+  /// from the previous epoch on refreshed views; the reference stays
+  /// valid for the view's lifetime — copy if you outlive it.
   const std::vector<vertex_id>& flat_clustering() const;
+  /// Cluster-size distribution at tau(), singletons included. Shares
+  /// the flat-label materialization (assembled from per-shard
+  /// histograms + cross-group sizes, not from the O(n) array).
   const SizeHistogram& size_histogram() const;
 
   /// Dispatch one typed query. The view's threshold is authoritative:
@@ -158,17 +198,58 @@ class ThresholdView {
   /// it (the blob then IS the cluster). Also yields shard and top slot.
   int32_t resolve_vertex(vertex_id x, int& shard, int32_t& top) const;
 
-  /// Lazily materialized flat labels (one global union-find pass),
-  /// shared by flat_clustering and size_histogram.
-  const std::vector<vertex_id>& labels() const;
+  /// The materialized flat-label state: per-shard label blocks (clean
+  /// shards share theirs across refreshes by pointer), the flat global
+  /// array with cross-group fixups applied, and the assembled size
+  /// histogram. Immutable once built.
+  struct LabelSet {
+    std::vector<std::shared_ptr<const DendrogramSnapshot::FlatLabels>> shard;
+    std::vector<vertex_id> flat;  // size n; canonical label per vertex
+    SizeHistogram hist;
+  };
+
+  /// Patch basis a refreshed view inherits: the epoch the labels were
+  /// materialized against (shard cleanliness is pointer identity vs its
+  /// shards), the label blocks themselves, and that epoch's resolution
+  /// (whose group fixups the patch must undo). Propagated unchanged
+  /// through views that never materialize labels, so a chain of
+  /// refreshes patches against the last epoch that actually did.
+  struct LabelSeed {
+    EpochManager::Snap origin;
+    std::shared_ptr<const LabelSet> labels;
+    std::shared_ptr<const Resolution> res;  // origin's (null in trivial mode)
+  };
+
+  /// Materialize the labels of `es` at tau. With a seed, clean shards'
+  /// label blocks are shared and the flat array is patched (copy, then
+  /// re-label dirty ranges, undo the seed resolution's group fixups,
+  /// apply `res`'s); without one — or when the dirty vertex mass makes
+  /// patching a loss — every shard re-labels and fixups apply to a
+  /// fresh concatenation.
+  static std::shared_ptr<const LabelSet> build_labels(const EngineSnapshot& es,
+                                                      double tau,
+                                                      const Resolution* res,
+                                                      const LabelSeed* seed);
+
+  /// This view as a patch basis: its own labels if materialized, else
+  /// the seed it inherited (possibly null). Takes only labels_mu_ (the
+  /// pointer lock), so callers — including refreshed() on the flushing
+  /// thread — never wait behind an in-flight materialization.
+  std::shared_ptr<const LabelSeed> label_seed() const;
+
+  /// The lazily materialized label state (flat_clustering and
+  /// size_histogram both land here). Builders serialize on
+  /// labels_build_mu_ and run with labels_mu_ released; labels_mu_
+  /// guards only the labels_/seed_ pointer swap.
+  const LabelSet& label_set() const;
 
   EpochManager::Snap snap_;
   double tau_ = 0.0;
   std::shared_ptr<const Resolution> res_;  // null => trivial mode
-  mutable std::once_flag labels_once_;
-  mutable std::vector<vertex_id> labels_;
-  mutable std::once_flag histogram_once_;
-  mutable SizeHistogram histogram_;
+  mutable std::mutex labels_mu_;        // pointer lock: labels_ + seed_
+  mutable std::mutex labels_build_mu_;  // serializes materializations
+  mutable std::shared_ptr<const LabelSet> labels_;
+  mutable std::shared_ptr<const LabelSeed> seed_;  // consumed by label_set()
 };
 
 namespace detail {
@@ -184,10 +265,18 @@ std::vector<QueryResult> run_batch(
 
 }  // namespace detail
 
+/// The query plane's entry point: pins one epoch and memoizes one
+/// ThresholdView per threshold. A cheap value type (two shared_ptrs) —
+/// copy it freely; copies share the epoch pin and the view cache. All
+/// methods are thread-safe; the epoch never changes under a
+/// ClusterView (subscribe via SubscribedView to follow the stream).
 class ClusterView {
  public:
+  /// Pin `snap`'s epoch. Prefer SldService::view(), which acquires the
+  /// current epoch for you.
   explicit ClusterView(EpochManager::Snap snap);
 
+  /// The pinned epoch / its snapshot (valid for this view's lifetime).
   uint64_t epoch() const { return snap_->epoch(); }
   const EngineSnapshot& snapshot() const { return *snap_; }
   EpochManager::Snap snap() const { return snap_; }

@@ -64,6 +64,7 @@ struct ShardMap {
 /// consumers (ThresholdView) scan exactly the sub-tau prefix.
 class CrossEdgeView {
  public:
+  /// One alive cross-shard edge (global endpoint ids).
   struct Edge {
     vertex_id u, v;
     double w;
@@ -105,6 +106,19 @@ struct EpochDelta {
   /// tau < cross_min_w reads the same sub-tau prefix before and after,
   /// so its cross merge is untouched even though the table changed.
   double cross_min_w = std::numeric_limits<double>::infinity();
+  /// Vertex mass of the rebuilt shards (sum of their local range
+  /// sizes): the group-churn bound the flat-label maintenance consumes.
+  /// Every vertex whose per-shard cluster — hence blob-UF group
+  /// membership — could have changed this flush lives in that mass, so
+  /// together with n it decides patch-vs-rebuild without a rescan.
+  uint64_t verts_rebuilt = 0;
+
+  /// Is patching the previous epoch's flat-label array (copy + re-label
+  /// dirty ranges + redo cross-group fixups) expected to beat a global
+  /// rebuild? Patching re-labels only the rebuilt vertex mass, so it
+  /// wins while that mass is a minority of n; at or past half, the
+  /// O(n) copy stops paying for itself.
+  bool label_patch_viable(vertex_id n) const { return 2 * verts_rebuilt < n; }
 
   bool cross_changed() const { return cross_inserted + cross_erased != 0; }
   int num_rebuilt() const {
@@ -114,8 +128,14 @@ struct EpochDelta {
   }
 };
 
+/// One published epoch: the per-shard DendrogramSnapshots, the frozen
+/// cross-edge table, and the delta vs the epoch it was built from.
+/// Entirely immutable — every method is const and thread-safe; readers
+/// hold it via shared_ptr (EpochManager::Snap) for as long as they
+/// like, which is also the reclamation scheme.
 class EngineSnapshot {
  public:
+  /// Monotone publication counter (0 = the empty initial snapshot).
   uint64_t epoch() const { return epoch_; }
   const ShardMap& shard_map() const { return map_; }
   const DendrogramSnapshot& shard(int k) const { return *shards_[k]; }
@@ -164,6 +184,8 @@ class EngineSnapshot {
 /// Publication point between the writer and the readers.
 class EpochManager {
  public:
+  /// A reader's handle on an epoch: holding it pins the snapshot (and
+  /// everything it shares) until released.
   using Snap = std::shared_ptr<const EngineSnapshot>;
 
   /// Current snapshot; never null once the service has constructed

@@ -42,17 +42,22 @@
 
 namespace dynsld::engine {
 
+/// Stable identity of one enqueued insertion; the erase key.
 using ticket_t = uint64_t;
 inline constexpr ticket_t kNoTicket = static_cast<ticket_t>(-1);
 
+/// The coalescing update queue between clients and the flush path (see
+/// the header comment). All public methods are thread-safe.
 class MutationQueue {
  public:
+  /// A pending insertion as the flush consumes it.
   struct InsertOp {
     ticket_t ticket;
     vertex_id u, v;
     double w;
   };
 
+  /// A pending erase as the flush consumes it.
   struct EraseOp {
     ticket_t ticket;
     // Endpoints resolved through the ledger at enqueue time (kNoVertex
@@ -75,6 +80,7 @@ class MutationQueue {
     }
   };
 
+  /// One atomic cut of everything pending, handed to the flush.
   struct Drained {
     std::vector<InsertOp> inserts;  // enqueue order
     std::vector<EraseOp> erases;    // enqueue order, deduplicated

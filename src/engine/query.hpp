@@ -50,6 +50,9 @@ struct SizeHistogramQuery {
   double tau;
 };
 
+/// One typed request, closed over its threshold — the element of a
+/// run() batch. Every alternative carries a `tau` field (the grouping
+/// key, see query_tau).
 using Query = std::variant<SameClusterQuery, ClusterSizeQuery,
                            ClusterReportQuery, FlatClusteringQuery,
                            SizeHistogramQuery>;
@@ -68,6 +71,10 @@ struct SizeHistogram {
   friend bool operator==(const SizeHistogram&, const SizeHistogram&) = default;
 };
 
+/// One answer, mirroring the request kinds positionally: bool for
+/// SameCluster, uint64_t for ClusterSize, vector<vertex_id> for
+/// ClusterReport (member list) and FlatClustering (label array),
+/// SizeHistogram for the histogram request.
 using QueryResult =
     std::variant<bool, uint64_t, std::vector<vertex_id>, SizeHistogram>;
 

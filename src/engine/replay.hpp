@@ -14,6 +14,7 @@
 
 namespace dynsld::engine {
 
+/// One recorded update in a replayable trace.
 struct TraceOp {
   enum Kind : uint8_t { kInsert, kErase } kind;
   // kInsert: the edge. kErase: `ref` is the index of the trace op whose
@@ -23,10 +24,13 @@ struct TraceOp {
   uint32_t ref = 0;
 };
 
+/// A recorded update stream plus generators for the benchmark
+/// workloads.
 struct Trace {
   vertex_id num_vertices = 0;
   std::vector<TraceOp> ops;
 
+  /// Number of kInsert ops (for reporting).
   size_t num_inserts() const;
 
   /// Sliding-window similarity stream (the intro's motivating
@@ -45,6 +49,7 @@ struct Trace {
                       double cross_fraction, uint64_t seed);
 };
 
+/// Knobs for one replay() run.
 struct ReplayOptions {
   int reader_threads = 0;
   double tau = 0.5;          // threshold the readers query at
@@ -56,6 +61,7 @@ struct ReplayOptions {
   bool amortize_views = true;
 };
 
+/// Aggregate timings/counts replay() hands back to the benchmarks.
 struct ReplayReport {
   double wall_ms = 0.0;
   uint64_t ops_applied = 0;

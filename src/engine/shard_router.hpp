@@ -35,8 +35,13 @@
 
 namespace dynsld::engine {
 
+/// The sharded write-side backend (see the header comment). NOT
+/// thread-safe — the service serializes apply/build_snapshot under its
+/// flush lock; the snapshots it produces are immutable and safe to
+/// read from anywhere.
 class ShardRouter {
  public:
+  /// Stand up `num_shards` empty per-shard clusterings over n vertices.
   ShardRouter(vertex_id n, int num_shards, SpineIndex index,
               std::shared_ptr<EngineStats> stats);
 

@@ -42,6 +42,7 @@
 
 namespace dynsld::engine {
 
+/// Construction-time knobs of an SldService.
 struct ServiceConfig {
   vertex_id num_vertices = 0;
   int num_shards = 1;
@@ -54,9 +55,16 @@ struct ServiceConfig {
   bool capture_edges = false;
 };
 
+/// The serving engine's facade: thread-safe update enqueue + flush on
+/// the writer side, epoch-pinned views/subscriptions on the reader
+/// side. Readers never block writers and vice versa; any state a
+/// reader obtains (snapshot(), view(), SubscribedView) stays valid and
+/// self-consistent no matter how many flushes happen meanwhile.
 class SldService {
  public:
+  /// Construct with epoch 0 published (the empty snapshot).
   explicit SldService(const ServiceConfig& cfg);
+  /// Stops the background writer. Destroy all SubscribedViews first.
   ~SldService();
 
   SldService(const SldService&) = delete;

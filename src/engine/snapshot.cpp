@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <map>
 #include <numeric>
 
 namespace dynsld::engine {
@@ -141,15 +142,45 @@ std::vector<vertex_id> DendrogramSnapshot::cluster_report(vertex_id u,
   return out;
 }
 
-std::vector<vertex_id> DendrogramSnapshot::flat_clustering(double tau) const {
-  // All members of a cluster share the same top node, so the top's u
-  // endpoint (itself a member) is a consistent label.
-  std::vector<vertex_id> label(n_);
-  for (vertex_id v = 0; v < n_; ++v) {
-    int32_t top = top_of(v + base_, tau);
-    label[v] = top == kNoSlot ? v + base_ : u_[top];
+DendrogramSnapshot::FlatLabels DendrogramSnapshot::flat_labels(
+    double tau) const {
+  FlatLabels out;
+  const size_t m = weight_.size();
+  // Descending slot pass: parents sit at larger slots, so top[parent]
+  // is final when slot i is visited. A slot whose own weight exceeds
+  // tau is inactive (kNoSlot); an active slot inherits its parent's top
+  // when the parent is active, else it IS the top of its cluster.
+  std::vector<int32_t> top(m);
+  std::map<uint64_t, uint64_t> hist;
+  uint64_t singletons = n_;
+  for (size_t i = m; i-- > 0;) {
+    if (weight_[i] > tau) {
+      top[i] = kNoSlot;
+      continue;
+    }
+    int32_t p = parent_[i];
+    top[i] = (p != kNoSlot && top[p] != kNoSlot) ? top[p]
+                                                 : static_cast<int32_t>(i);
+    if (top[i] == static_cast<int32_t>(i)) {  // i tops a cluster at tau
+      ++hist[count_[i]];
+      singletons -= count_[i];
+    }
   }
-  return label;
+  if (singletons) hist[1] += singletons;
+  // All members of a cluster share the same top node, so the top's u
+  // endpoint (itself a member) is a consistent canonical label.
+  out.label.resize(n_);
+  for (vertex_id v = 0; v < n_; ++v) {
+    int32_t lp = leaf_parent_[v];
+    out.label[v] =
+        (lp == kNoSlot || weight_[lp] > tau) ? v + base_ : u_[top[lp]];
+  }
+  out.hist.assign(hist.begin(), hist.end());
+  return out;
+}
+
+std::vector<vertex_id> DendrogramSnapshot::flat_clustering(double tau) const {
+  return flat_labels(tau).label;
 }
 
 void DendrogramSnapshot::threshold_union(UnionFind& uf, double tau) const {

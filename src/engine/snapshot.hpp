@@ -37,8 +37,14 @@
 
 namespace dynsld::engine {
 
+/// The frozen dendrogram of one shard at one epoch (see the header
+/// comment). Immutable after build(); every method is const and
+/// thread-safe. The engine shares untouched shards' snapshots across
+/// epochs by pointer — pointer identity IS the cleanliness test the
+/// refresh and label-patch machinery rely on.
 class DendrogramSnapshot {
  public:
+  /// Sentinel slot: "no node" (singleton vertex / no parent).
   static constexpr int32_t kNoSlot = -1;
 
   /// Freeze the current dendrogram of `sld`. Uses only const accessors;
@@ -70,8 +76,28 @@ class DendrogramSnapshot {
   /// §6.1 cluster report. O(log h + |cluster|).
   std::vector<vertex_id> cluster_report(vertex_id u, double tau) const;
 
+  /// One shard's flat-label block at threshold tau: canonical labels
+  /// over the local vertex range plus the shard's cluster-size
+  /// histogram (singletons included). The label of a cluster is the
+  /// `u` endpoint of its top node — a member vertex, and a pure
+  /// function of (snapshot, tau), so two passes over the same snapshot
+  /// agree bit-for-bit. This determinism is what lets the view plane
+  /// patch label arrays across epochs instead of rebuilding them
+  /// (cluster_view.hpp).
+  struct FlatLabels {
+    std::vector<vertex_id> label;  // local index -> global canonical label
+    std::vector<std::pair<uint64_t, uint64_t>> hist;  // size -> clusters, asc
+  };
+
+  /// Build the shard's flat-label block in one linear sweep: a
+  /// descending slot pass resolves every node's top cluster node (the
+  /// parent slot is always larger), then a vertex pass reads labels off
+  /// e*_v. O(n + |nodes|) — no per-vertex binary lifting.
+  FlatLabels flat_labels(double tau) const;
+
   /// §6.1 flat clustering over the local vertex range; label[i] is a
-  /// member vertex (global id) of local vertex i's cluster. O(n log h).
+  /// member vertex (global id) of local vertex i's cluster — the
+  /// canonical label of flat_labels(). O(n + |nodes|).
   std::vector<vertex_id> flat_clustering(double tau) const;
 
   /// Unite every tree edge of weight <= tau into the caller's

@@ -11,6 +11,9 @@
 
 namespace dynsld::engine {
 
+/// The engine's counter block (shared by the service, its snapshots
+/// and the views built over them). Thread-safe: all counters are
+/// relaxed atomics bumped from hot paths.
 struct EngineStats {
   // -- update front-end --
   std::atomic<uint64_t> inserts_enqueued{0};
@@ -49,7 +52,13 @@ struct EngineStats {
   std::atomic<uint64_t> refresh_shards_reused{0};    // clean shards per refresh
   std::atomic<uint64_t> refresh_shards_rebuilt{0};   // dirty shards per refresh
   std::atomic<uint64_t> cross_uf_incremental{0};  // incremental blob-UF re-resolves
+  // -- flat-label maintenance --
+  std::atomic<uint64_t> labels_rebuilt{0};  // global label materializations
+  std::atomic<uint64_t> labels_patched{0};  // prev labels copied + patched
+  std::atomic<uint64_t> labels_reused{0};   // prev LabelSet adopted wholesale
 
+  /// A plain (non-atomic) copy of every counter, for printing and
+  /// test assertions.
   struct Report {
     uint64_t inserts_enqueued, erases_enqueued, coalesced_pairs,
         duplicate_erases, invalid_erases, flushes, ops_applied, max_batch,
@@ -59,7 +68,7 @@ struct EngineStats {
         views_built, cross_uf_builds, batch_runs, batch_queries, subs_notified,
         sub_refreshes, refresh_views_reused, refresh_views_incremental,
         refresh_views_full, refresh_shards_reused, refresh_shards_rebuilt,
-        cross_uf_incremental;
+        cross_uf_incremental, labels_rebuilt, labels_patched, labels_reused;
 
     uint64_t queries() const {
       return q_same_cluster + q_cluster_size + q_cluster_report +
@@ -85,7 +94,8 @@ struct EngineStats {
                   r(subs_notified), r(sub_refreshes), r(refresh_views_reused),
                   r(refresh_views_incremental), r(refresh_views_full),
                   r(refresh_shards_reused), r(refresh_shards_rebuilt),
-                  r(cross_uf_incremental)};
+                  r(cross_uf_incremental), r(labels_rebuilt), r(labels_patched),
+                  r(labels_reused)};
   }
 
   void bump_max_batch(uint64_t sz) {
@@ -129,6 +139,12 @@ inline void print_report(const EngineStats::Report& r, std::FILE* out = stdout) 
                  (unsigned long long)r.refresh_shards_reused,
                  (unsigned long long)r.refresh_shards_rebuilt,
                  (unsigned long long)r.cross_uf_incremental);
+  if (r.labels_rebuilt || r.labels_patched || r.labels_reused)
+    std::fprintf(out,
+                 "flat labels: %llu rebuilt / %llu patched / %llu reused\n",
+                 (unsigned long long)r.labels_rebuilt,
+                 (unsigned long long)r.labels_patched,
+                 (unsigned long long)r.labels_reused);
 }
 
 }  // namespace dynsld::engine

@@ -52,6 +52,10 @@ bool SubscribedView::refresh() {
   if (snap->epoch() <= snap_->epoch()) return false;
   for (auto& [tau, view] : views_) {
     (void)tau;
+    // refreshed() carries the merge resolution across incrementally
+    // AND threads the old view's materialized flat labels through as
+    // the new view's patch basis — bulk queries after a refresh
+    // re-label only dirty shards and changed cross groups.
     view = ThresholdView::refreshed(view, snap);
   }
   snap_ = std::move(snap);

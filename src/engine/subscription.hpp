@@ -13,7 +13,10 @@
 //        v               ThresholdView::refreshed — swap only rebuilt
 //   ThresholdViews       shards' blob structures, incremental blob-UF,
 //                        full re-resolve only when the sub-tau cross
-//                        prefix changed (cluster_view.hpp)
+//                        prefix changed; flat labels thread through as
+//                        a patch basis, so bulk queries on the
+//                        refreshed view re-label only what changed
+//                        (cluster_view.hpp)
 //
 // Lifecycle: constructing a SubscribedView registers it with the
 // service's hub; destroying it unregisters. "Dirty shard" means the
@@ -54,7 +57,9 @@ class SldService;
 /// registered subscribers.
 class SubscriptionHub {
  public:
+  /// Handle identifying one registration (the remove() key).
   using Token = uint64_t;
+  /// Publish callback; runs on the flushing thread under the hub lock.
   using Callback = std::function<void(const EpochManager::Snap&)>;
 
   /// Register; the callback fires on every subsequent publish.
@@ -118,8 +123,12 @@ class SubscriptionHub {
 /// reader is not.
 class SubscribedView {
  public:
+  /// Register with `svc`'s hub, pinned to its current epoch. The
+  /// optional hook fires on every publish (on the flushing thread).
   explicit SubscribedView(SldService& svc,
                           std::function<void(uint64_t)> on_publish = {});
+  /// Unregisters; serialized with notification, so destruction is
+  /// race-free once no other thread still calls methods on *this.
   ~SubscribedView();
 
   SubscribedView(const SubscribedView&) = delete;
@@ -137,7 +146,12 @@ class SubscribedView {
   /// Re-pin the service's current epoch and refresh every resolved
   /// ThresholdView through ThresholdView::refreshed (reuse clean
   /// shards, incremental blob union-find, full rebuild only on sub-tau
-  /// cross churn). Returns false when the epoch had not advanced.
+  /// cross churn). Each refreshed view also inherits the previous
+  /// epoch's materialized flat labels as its patch basis, so the O(n)
+  /// queries (flat_clustering / size_histogram) re-label only dirty
+  /// shards and changed cross groups instead of rebuilding — the
+  /// refresh is cheap even when every epoch is followed by a bulk
+  /// query. Returns false when the epoch had not advanced.
   bool refresh();
 
   /// The resolved view at tau against the subscription's current

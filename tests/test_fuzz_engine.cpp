@@ -10,9 +10,13 @@
 //
 //   1. the subscription-refreshed ThresholdView answers bit-for-bit
 //      like a freshly resolved view of the same snapshot (labels and
-//      histograms as exact vector equality — both derive from the same
-//      deterministic union-find pass, so any divergence is a refresh
-//      bug, not an ordering artifact);
+//      histograms as exact vector equality — labels are canonical,
+//      i.e. a pure function of the snapshot and the resolution, so a
+//      patched array and a from-scratch array must agree exactly and
+//      any divergence is a refresh/patch bug, not an ordering
+//      artifact); the label queries also run through the typed batch
+//      API, so the patched path behind run() is covered on every
+//      schedule;
 //   2. both match the Kruskal reference partition of the epoch's
 //      captured edge set (partition equality, sampled pair/size/report
 //      queries);
@@ -160,13 +164,29 @@ void run_schedule(const Scenario& sc, uint64_t seed) {
       auto fresh = fresh_view.at(tau);
       ASSERT_EQ(subv->epoch(), epoch);
 
-      // (1) Refreshed view == fresh view, bit for bit.
+      // (1) Refreshed view == fresh view, bit for bit — including the
+      // patched flat labels and the reassembled histogram, also via
+      // the typed batch API.
       ASSERT_EQ(subv->flat_clustering(), fresh->flat_clustering());
       ASSERT_EQ(subv->size_histogram(), fresh->size_histogram());
-
+      {
+        std::vector<Query> lq{FlatClusteringQuery{tau},
+                              SizeHistogramQuery{tau}};
+        auto lres = sub.run(lq);
+        ASSERT_EQ(std::get<std::vector<vertex_id>>(lres[0]),
+                  fresh->flat_clustering());
+        ASSERT_EQ(std::get<SizeHistogram>(lres[1]), fresh->size_histogram());
+      }
       // (2) Both == the Kruskal oracle.
       auto ref = reference_labels(sc.n, snap->captured_edges(), tau);
       expect_same_partition(ref, subv->flat_clustering());
+      // Canonical-label invariants the patch machinery relies on: a
+      // label names a member of its own cluster and is idempotent.
+      const std::vector<vertex_id>& lab = subv->flat_clustering();
+      for (vertex_id v = 0; v < sc.n; ++v) {
+        ASSERT_EQ(ref[lab[v]], ref[v]) << "label not a cluster member, v=" << v;
+        ASSERT_EQ(lab[lab[v]], lab[v]) << "label not canonical, v=" << v;
+      }
       ASSERT_EQ(subv->size_histogram(), ref_histogram(ref));
       for (int q = 0; q < 12; ++q) {
         auto [s, t] = test::random_distinct_pair(rng, sc.n);
@@ -246,6 +266,46 @@ TEST(FuzzEngine, HotspotSchedulesReuseShards) {
   EXPECT_EQ(r.refresh_shards_reused, 8u * 7u);
   EXPECT_EQ(r.refresh_shards_rebuilt, 8u * 1u);
   EXPECT_EQ(r.refresh_views_full, 0u);
+}
+
+/// Skewed churn with flat labels queried every epoch: the label
+/// maintenance must take the patch path (not silently rebuild), stay
+/// bit-for-bit with fresh materializations, and account itself in the
+/// labels_patched/labels_rebuilt counters.
+TEST(FuzzEngine, FlatLabelPatchCountersUnderSkewedChurn) {
+  ServiceConfig cfg;
+  cfg.num_vertices = 64;
+  cfg.num_shards = 8;
+  SldService svc(cfg);
+  par::Rng rng = test::test_rng();
+  // A weighted path across the whole range: intra-shard structure in
+  // every shard plus sub-tau cross edges at each shard boundary, so the
+  // patch has both dirty ranges and group fixups to handle.
+  for (vertex_id v = 0; v + 1 < 64; ++v)
+    svc.insert(v, v + 1, 0.2 + 0.5 * rng.next_double());
+  svc.flush();
+
+  SubscribedView sub(svc);
+  const double tau = 0.5;
+  sub.at(tau)->flat_clustering();  // initial materialization
+  EXPECT_EQ(svc.stats().labels_rebuilt, 1u);
+
+  const int rounds = 6;
+  for (int round = 0; round < rounds; ++round) {
+    for (int i = 0; i < 6; ++i) {  // all churn inside shard 0
+      auto [u, v] = test::random_block_pair(rng, 0, 8);
+      svc.insert(u, v, rng.next_double());
+    }
+    svc.flush();
+    sub.refresh();
+    ClusterView fresh(svc.snapshot());
+    ASSERT_EQ(sub.at(tau)->flat_clustering(), fresh.at(tau)->flat_clustering());
+    ASSERT_EQ(sub.at(tau)->size_histogram(), fresh.at(tau)->size_histogram());
+  }
+  auto r = svc.stats();
+  EXPECT_EQ(r.labels_patched, static_cast<uint64_t>(rounds));
+  EXPECT_EQ(r.labels_rebuilt, 1u + rounds);  // initial + the fresh oracles
+  EXPECT_EQ(r.labels_reused, 0u);
 }
 
 /// Concurrent epoch turnover: the background writer publishes epochs
