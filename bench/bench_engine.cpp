@@ -23,11 +23,23 @@
 //      array (dirty shard ranges + cross groups) vs the fresh view's
 //      full relabel — the labels_patched/labels_rebuilt counters prove
 //      which path ran.
+//   7. Broker cross-client batching: N concurrent clients issue single
+//      queries at a shared tau across churning epochs — per-caller
+//      fresh views (every client pays its own resolution per epoch) vs
+//      the sync run() wrapper vs pipelined submit() futures. The
+//      resolution counters prove one cross-UF per (epoch, tau) group
+//      fleet-wide on the broker paths; p50/p99 fulfillment latency is
+//      reported for both broker modes.
 //
 //   $ ./bench_engine [--smoke]     (--smoke: tiny sizes, CI rot check)
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 #include "bench_util.hpp"
@@ -432,6 +444,170 @@ static void label_maintenance(bool smoke) {
                rounds - sanity);
 }
 
+static void broker_cross_client(bool smoke) {
+  bench::header("E-ENGINE-7",
+                "broker: cross-client batching at a shared tau across epochs");
+  const int shards = 4, block = smoke ? 256 : 1024;
+  const vertex_id n = static_cast<vertex_id>(shards) * block;
+  const double tau = 0.35;
+  const int clients = smoke ? 4 : 8;
+  const int rounds = smoke ? 8 : 30;
+  const int per_round = smoke ? 60 : 400;  // queries per client per round
+
+  enum Mode { kPerCaller, kSyncRun, kAsyncSubmit };
+  struct Row {
+    double wall_ms = 0, qps = 0, res_per_round = 0, reqs_per_group = 0;
+    double p50_us = 0, p99_us = 0;
+  };
+
+  auto run_mode = [&](Mode mode) {
+    ServiceConfig cfg;
+    cfg.num_vertices = n;
+    cfg.num_shards = shards;
+    SldService svc(cfg);
+    par::Rng rng(2027);
+    // E-ENGINE-4's workload shape: dense intra structure + 15% cross
+    // edges, so every resolution at tau has a real cross merge to pay.
+    const int edges = smoke ? 2000 : 12000;
+    for (int i = 0; i < edges; ++i) {
+      vertex_id u, v;
+      if (rng.next_double() < 0.15) {
+        u = rng.next_bounded(n);
+        do {
+          v = rng.next_bounded(n);
+        } while (v / block == u / block);
+      } else {
+        int g = static_cast<int>(rng.next_bounded(shards));
+        u = static_cast<vertex_id>(g) * block + rng.next_bounded(block);
+        do {
+          v = static_cast<vertex_id>(g) * block + rng.next_bounded(block);
+        } while (v == u);
+      }
+      svc.insert(u, v, rng.next_double());
+    }
+    svc.flush();
+
+    std::vector<double> lats;
+    lats.reserve(static_cast<size_t>(clients) * rounds * per_round);
+    std::mutex lat_mu;
+    auto before = svc.stats();
+    double t0 = now_ms();
+    for (int round = 0; round < rounds; ++round) {
+      // Skewed churn inside shard 0, one flush -> one new epoch.
+      for (int i = 0; i < 64; ++i) {
+        vertex_id u = rng.next_bounded(block), v;
+        do {
+          v = rng.next_bounded(block);
+        } while (v == u);
+        svc.insert(u, v, rng.next_double());
+      }
+      svc.flush();
+
+      std::vector<std::thread> cs;
+      cs.reserve(clients);
+      for (int c = 0; c < clients; ++c) {
+        cs.emplace_back([&, c, round] {
+          par::Rng qr(static_cast<uint64_t>(round) * 131 + c);
+          std::vector<double> local;
+          local.reserve(per_round);
+          if (mode == kPerCaller) {
+            // The pre-broker pattern: this client's own fresh view per
+            // epoch — N clients, N resolutions, zero sharing.
+            auto tv = svc.view().at(tau);
+            for (int i = 0; i < per_round; ++i) {
+              double s = now_ms();
+              tv->cluster_size(qr.next_bounded(n));
+              local.push_back(now_ms() - s);
+            }
+          } else if (mode == kSyncRun) {
+            for (int i = 0; i < per_round; ++i) {
+              Query q = ClusterSizeQuery{
+                  static_cast<vertex_id>(qr.next_bounded(n)), tau};
+              double s = now_ms();
+              svc.run(std::span<const Query>(&q, 1));
+              local.push_back(now_ms() - s);
+            }
+          } else {
+            // Pipelined submits, bounded window: latency recorded when
+            // the oldest future is reaped (≈ fulfillment under load).
+            std::deque<std::pair<std::future<ResultSet>, double>> window;
+            auto reap = [&] {
+              auto [fut, s] = std::move(window.front());
+              window.pop_front();
+              fut.get();
+              local.push_back(now_ms() - s);
+            };
+            for (int i = 0; i < per_round; ++i) {
+              QueryRequest req;
+              req.queries = {ClusterSizeQuery{
+                  static_cast<vertex_id>(qr.next_bounded(n)), tau}};
+              double s = now_ms();
+              window.emplace_back(svc.submit(std::move(req)), s);
+              if (window.size() >= 32) reap();
+            }
+            while (!window.empty()) reap();
+          }
+          std::lock_guard<std::mutex> lk(lat_mu);
+          lats.insert(lats.end(), local.begin(), local.end());
+        });
+      }
+      for (auto& t : cs) t.join();
+    }
+    double wall = now_ms() - t0;
+    auto after = svc.stats();
+
+    Row row;
+    row.wall_ms = wall;
+    row.qps = 1e3 * clients * per_round * rounds / wall;
+    uint64_t res = (after.cross_uf_builds - before.cross_uf_builds) +
+                   (after.cross_uf_incremental - before.cross_uf_incremental);
+    row.res_per_round = static_cast<double>(res) / rounds;
+    uint64_t groups = after.broker_groups - before.broker_groups;
+    row.reqs_per_group =
+        groups ? static_cast<double>(after.broker_group_requests -
+                                     before.broker_group_requests) /
+                     groups
+               : 0.0;
+    std::sort(lats.begin(), lats.end());
+    if (!lats.empty()) {
+      row.p50_us = 1e3 * lats[lats.size() / 2];
+      row.p99_us = 1e3 * lats[lats.size() * 99 / 100];
+    }
+    return row;
+  };
+
+  Row per_caller = run_mode(kPerCaller);
+  Row sync_run = run_mode(kSyncRun);
+  Row async = run_mode(kAsyncSubmit);
+
+  bench::row("%-22s %d clients x %d q x %d epochs @tau=%.2f, %d shards",
+             "shared-tau workload:", clients, per_round, rounds, tau, shards);
+  bench::row("%-22s %9s %12s %10s %11s %9s %9s", "mode", "wall_ms", "q/s",
+             "res/epoch", "reqs/group", "p50_us", "p99_us");
+  bench::row("%-22s %9.1f %12.0f %10.1f %11s %9.2f %9.2f",
+             "per-caller views:", per_caller.wall_ms, per_caller.qps,
+             per_caller.res_per_round, "-", per_caller.p50_us,
+             per_caller.p99_us);
+  bench::row("%-22s %9.1f %12.0f %10.1f %11.1f %9.2f %9.2f",
+             "sync run() wrapper:", sync_run.wall_ms, sync_run.qps,
+             sync_run.res_per_round, sync_run.reqs_per_group, sync_run.p50_us,
+             sync_run.p99_us);
+  bench::row("%-22s %9.1f %12.0f %10.1f %11.1f %9.2f %9.2f",
+             "pipelined submit():", async.wall_ms, async.qps,
+             async.res_per_round, async.reqs_per_group, async.p50_us,
+             async.p99_us);
+  bench::row("%-22s per-caller pays ~%d resolutions/epoch; the broker pays "
+             "~1 per (epoch, tau) group fleet-wide",
+             "amortization:", clients);
+  if (per_caller.res_per_round < clients * 0.9)
+    bench::row("WARNING: per-caller baseline resolved fewer views than "
+               "expected (%.1f/epoch)", per_caller.res_per_round);
+  if (sync_run.res_per_round > 2.5 || async.res_per_round > 2.5)
+    bench::row("WARNING: broker resolved more than expected per epoch "
+               "(sync %.1f, async %.1f)",
+               sync_run.res_per_round, async.res_per_round);
+}
+
 int main(int argc, char** argv) {
   bool smoke = false;
   for (int i = 1; i < argc; ++i)
@@ -443,5 +619,6 @@ int main(int argc, char** argv) {
   view_amortization(smoke);
   subscription_refresh(smoke);
   label_maintenance(smoke);
+  broker_cross_client(smoke);
   return 0;
 }

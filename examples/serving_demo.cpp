@@ -1,22 +1,27 @@
 // Serving demo: the engine's end-to-end story in one page.
 //
 // A background writer thread flushes coalesced update batches while the
-// main thread plays "user traffic" through the subscription plane: a
-// SubscribedView registers with the service once, every publish
-// notifies it, and refresh() carries its resolved ThresholdView across
-// epochs incrementally — only the shards a flush actually rebuilt are
-// re-resolved, the rest are reused pointer-identically. The finale
-// runs a typed Query batch (SubscribedView::run) mixing thresholds.
+// main thread plays "user traffic" through the ASYNC request plane:
+// every round submits a QueryRequest — typed queries plus a deadline —
+// and reaps the future. Concurrent requests at one (epoch, tau) are
+// grouped by the broker and share a single merge resolution, no matter
+// how many clients ask (serving many users is the whole point). The
+// demo closes with read-your-writes via AtLeastEpoch and a submit_batch
+// mixing thresholds.
 //
 //   $ ./serving_demo
+#include <chrono>
 #include <cstdio>
+#include <future>
 #include <thread>
+#include <vector>
 
 #include "engine/sld_service.hpp"
 #include "parallel/random.hpp"
 
 using namespace dynsld;
 using namespace dynsld::engine;
+using namespace std::chrono_literals;
 
 int main() {
   const vertex_id n = 1000;
@@ -53,49 +58,70 @@ int main() {
     }
   });
 
-  // Query traffic: one long-lived subscription instead of a fresh view
-  // per round. refresh() re-pins the latest epoch and swaps only the
-  // dirty shards' blob structures in the resolved ThresholdView.
-  SubscribedView sub(svc);
+  // Query traffic: submit() is the default read path. Each request
+  // carries a deadline; if the broker cannot dispatch it in time it
+  // resolves with a typed QueryError instead of running late. All
+  // queries of one request answer at ONE epoch (rs.epoch).
   par::Rng qrng(7);
   const double tau = 0.25;
   for (int round = 0; round < 10; ++round) {
     std::this_thread::sleep_for(std::chrono::milliseconds(8));
-    sub.refresh();  // no-op when no epoch was published meanwhile
-    auto tv = sub.at(tau);
     vertex_id probe = qrng.next_bounded(n);
-    const SizeHistogram& hist = tv->size_histogram();
-    std::printf(
-        "epoch %4llu: %5zu tree edges, %4llu clusters @tau=%.2f (biggest "
-        "%llu); vertex %3u's cluster has %llu members\n",
-        (unsigned long long)sub.epoch(), tv->snapshot().num_tree_edges(),
-        (unsigned long long)hist.num_clusters(), tau,
-        (unsigned long long)(hist.bins.empty() ? 0 : hist.bins.back().first),
-        probe, (unsigned long long)tv->cluster_size(probe));
+    QueryRequest req;
+    req.queries = {NumClustersQuery{tau}, SizeHistogramQuery{tau},
+                   ClusterSizeQuery{probe, tau}};
+    req.deadline = std::chrono::steady_clock::now() + 50ms;
+    try {
+      ResultSet rs = svc.submit(std::move(req)).get();
+      const auto& hist = std::get<SizeHistogram>(rs.results[1]);
+      std::printf(
+          "epoch %4llu: %4llu clusters @tau=%.2f (biggest %llu); vertex "
+          "%3u's cluster has %llu members\n",
+          (unsigned long long)rs.epoch,
+          (unsigned long long)std::get<uint64_t>(rs.results[0]), tau,
+          (unsigned long long)(hist.bins.empty() ? 0 : hist.bins.back().first),
+          probe, (unsigned long long)std::get<uint64_t>(rs.results[2]));
+    } catch (const QueryError& e) {
+      std::printf("round %d: %s\n", round, e.what());
+    }
   }
 
   producer.join();
   svc.stop_writer();
-  sub.refresh();  // catch the shutdown flush
 
-  // Typed batch: mixed kinds across two thresholds, grouped by tau and
-  // answered in parallel against the subscription's pinned epoch.
-  std::vector<Query> batch;
-  for (double t : {0.15, 0.4}) {
-    batch.push_back(SameClusterQuery{1, 2, t});
-    batch.push_back(ClusterSizeQuery{3, t});
-    batch.push_back(SizeHistogramQuery{t});
+  // Read-your-writes: enqueue an edge, then ask AT LEAST the epoch the
+  // flush will publish — the broker parks the request until that epoch
+  // lands, so the answer is guaranteed to see the write.
+  svc.insert(1, 2, 0.05);
+  QueryRequest ryw;
+  ryw.queries = {SameClusterQuery{1, 2, tau}};
+  ryw.consistency = AtLeastEpoch{svc.epoch() + 1};
+  auto fut = svc.submit(std::move(ryw));
+  svc.flush();
+  ResultSet rs = fut.get();
+  std::printf("\nread-your-writes at epoch %llu: same_cluster(1,2)=%s\n",
+              (unsigned long long)rs.epoch,
+              std::get<bool>(rs.results[0]) ? "yes" : "no");
+
+  // submit_batch: several requests spliced into the intake atomically —
+  // their shared thresholds collapse into cross-client groups, each
+  // backed by one resolution.
+  std::vector<QueryRequest> batch(4);
+  for (int i = 0; i < 4; ++i) {
+    double t = i % 2 ? 0.4 : 0.15;
+    batch[i].queries = {SameClusterQuery{1, 2, t}, ClusterSizeQuery{3, t},
+                        NumClustersQuery{t}};
   }
-  std::vector<QueryResult> results = sub.run(batch);
-  for (size_t i = 0; i < batch.size(); i += 3) {
-    double t = query_tau(batch[i]);
+  auto futs = svc.submit_batch(std::move(batch));
+  for (size_t i = 0; i < futs.size(); ++i) {
+    ResultSet r = futs[i].get();
+    double t = i % 2 ? 0.4 : 0.15;
     std::printf(
-        "batch @tau=%.2f: same_cluster(1,2)=%s  |cluster(3)|=%llu  "
+        "batch[%zu] @tau=%.2f: same_cluster(1,2)=%s  |cluster(3)|=%llu  "
         "clusters=%llu\n",
-        t, std::get<bool>(results[i]) ? "yes" : "no",
-        (unsigned long long)std::get<uint64_t>(results[i + 1]),
-        (unsigned long long)std::get<SizeHistogram>(results[i + 2])
-            .num_clusters());
+        i, t, std::get<bool>(r.results[0]) ? "yes" : "no",
+        (unsigned long long)std::get<uint64_t>(r.results[1]),
+        (unsigned long long)std::get<uint64_t>(r.results[2]));
   }
   print_report(svc.stats());
   return 0;

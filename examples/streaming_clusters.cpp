@@ -3,14 +3,15 @@
 // maintains the exact single-linkage dendrogram of the evolving
 // similarity graph and answers live cluster queries.
 //
-// This drives the serving engine (SldService) through its subscription
-// plane: edges are enqueued on insert and erased *by endpoints* — the
-// queue's (u, v) ledger resolves tickets, so points only remember who
-// they connected to. Each window slide is one coalesced batch flush;
-// the cluster census holds one SubscribedView for the whole stream and
-// refresh()es it per epoch, so the census's ThresholdView is resolved
-// once up front and then maintained incrementally (only the shards a
-// slide touched are re-resolved).
+// This drives the serving engine (SldService) through the async
+// request plane: edges are enqueued on insert and erased *by
+// endpoints* — the queue's (u, v) ledger resolves tickets, so points
+// only remember who they connected to. Each window slide is one
+// coalesced batch flush; the per-step census is one submitted
+// QueryRequest pinned to at least the slide's epoch (read-your-slide:
+// AtLeastEpoch parks the request until the flush publishes), answered
+// from the broker's standing ThresholdView, which refreshes
+// incrementally across the stream's epochs instead of re-resolving.
 //
 // Workload: a sliding window over a stream of 2-D points (three moving
 // Gaussian-ish blobs). Each window step inserts new points' edges,
@@ -21,6 +22,7 @@
 #include <cmath>
 #include <cstdio>
 #include <deque>
+#include <future>
 #include <vector>
 
 #include "engine/sld_service.hpp"
@@ -78,10 +80,6 @@ int main() {
 
   for (int i = 0; i < window; ++i) add_point(0);
 
-  // One subscription for the stream's lifetime; each slide's flush
-  // notifies it and refresh() carries the tau-resolution forward.
-  SubscribedView census(svc);
-
   std::printf("%5s %7s %9s %7s %10s %8s\n", "step", "points", "msf_edges",
               "epoch", "clusters", "biggest");
   for (int t = 0; t < steps; ++t) {
@@ -92,13 +90,18 @@ int main() {
       live.pop_front();
     }
     for (int i = 0; i < per_step; ++i) add_point(t);
+
+    // Cluster census for this slide: submit BEFORE the flush, pinned
+    // to at least the epoch the flush will publish — the broker parks
+    // the request and fulfills it the moment the slide's epoch lands.
+    QueryRequest census;
+    census.queries = {FlatClusteringQuery{tau}, NumClustersQuery{tau}};
+    census.consistency = AtLeastEpoch{svc.epoch() + 1};
+    auto fut = svc.submit(std::move(census));
     svc.flush();  // one batch per window slide -> one epoch
 
-    // Cluster census at threshold tau: refresh the standing
-    // subscription instead of resolving a fresh view.
-    census.refresh();
-    auto tv = census.at(tau);
-    const auto& labels = tv->flat_clustering();
+    ResultSet rs = fut.get();
+    const auto& labels = std::get<std::vector<vertex_id>>(rs.results[0]);
     std::vector<int> count(capacity, 0);
     int clusters = 0, biggest = 0;
     for (const Point& p : live) {
@@ -107,12 +110,20 @@ int main() {
       if (c > biggest) biggest = c;
     }
     std::printf("%5d %7zu %9zu %7llu %10d %8d\n", t, live.size(),
-                tv->snapshot().num_tree_edges(),
-                (unsigned long long)census.epoch(), clusters, biggest);
+                svc.snapshot()->num_tree_edges(),
+                (unsigned long long)rs.epoch, clusters, biggest);
+    // Graph-wide count = live clusters + one singleton per expired or
+    // not-yet-born id; a cheap cross-check on the NumClusters
+    // reassembly against the label array.
+    uint64_t graph_clusters = std::get<uint64_t>(rs.results[1]);
+    if (graph_clusters !=
+        static_cast<uint64_t>(clusters) + (capacity - live.size()))
+      std::printf("WARNING: NumClusters (%llu) disagrees with labels\n",
+                  (unsigned long long)graph_clusters);
   }
 
-  // Drill into the cluster of the newest point — same view surface,
-  // single-shot convenience on the service.
+  // Drill into the cluster of the newest point — the single-shot
+  // conveniences are submit-and-wait wrappers over the same broker.
   const Point& probe = live.back();
   auto members = svc.cluster_report(probe.id, tau);
   std::printf("\ncluster of newest point %u at tau=%.2f: %zu members\n",

@@ -1,0 +1,408 @@
+#include "engine/broker.hpp"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "parallel/par.hpp"
+
+namespace dynsld::engine {
+
+namespace {
+
+/// Monotone max-store (publishes can arrive out of order; see
+/// subscription.cpp for the same idiom on the subscriber side).
+void store_max(std::atomic<uint64_t>& a, uint64_t e) {
+  uint64_t cur = a.load(std::memory_order_relaxed);
+  while (cur < e && !a.compare_exchange_weak(cur, e,
+                                             std::memory_order_release,
+                                             std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+QueryBroker::QueryBroker(const EpochManager& epochs, SubscriptionHub& hub,
+                         std::shared_ptr<EngineStats> stats, Options opt)
+    : epochs_(epochs), hub_(hub), stats_(std::move(stats)), opt_(opt) {
+  if (opt_.queue_depth == 0) opt_.queue_depth = 1;
+  last_epoch_ = epochs_.cur_epoch();
+  // System subscription: publishes wake the dispatcher (AtLeastEpoch
+  // waiters unpark, the standing view cache refreshes) without counting
+  // as a user subscriber anywhere.
+  hub_token_ = hub_.add_system([this](const EpochManager::Snap& s) {
+    store_max(published_, s->epoch());
+    nudge();
+  });
+  dispatcher_ = std::thread([this] { dispatcher_loop(); });
+}
+
+QueryBroker::~QueryBroker() { shutdown(); }
+
+std::future<ResultSet> QueryBroker::error_future(QueryErrorCode code) {
+  std::promise<ResultSet> p;
+  p.set_exception(std::make_exception_ptr(QueryError(code)));
+  return p.get_future();
+}
+
+bool QueryBroker::push_chain(Request* first, Request* last) {
+  // seq_cst CAS: totally ordered against the stopped_ flag (see the
+  // header comment on the shutdown race).
+  Request* h = intake_.load();
+  do {
+    last->next = h;
+  } while (!intake_.compare_exchange_weak(h, first));
+  return h == nullptr;
+}
+
+void QueryBroker::nudge() {
+  // Briefly take mu_ so the notify cannot slip between the dispatcher's
+  // predicate check and its sleep (lost-wakeup race) — the same idiom
+  // as the service's nudge_writer().
+  { std::lock_guard<std::mutex> lk(mu_); }
+  cv_.notify_one();
+}
+
+void QueryBroker::finish_error(Request* r, QueryErrorCode code) {
+  // Depth drops before the future resolves, so a client that observes
+  // the result never reads a stale depth() afterwards.
+  depth_.fetch_sub(1, std::memory_order_acq_rel);
+  r->promise.set_exception(std::make_exception_ptr(QueryError(code)));
+  delete r;
+}
+
+void QueryBroker::finish_ok(Request* r) {
+  depth_.fetch_sub(1, std::memory_order_acq_rel);
+  r->promise.set_value(std::move(r->out));
+  delete r;
+}
+
+void QueryBroker::abort_intake() {
+  Request* h = intake_.exchange(nullptr);
+  while (h) {
+    Request* next = h->next;
+    if (stats_)
+      stats_->broker_shutdown_aborted.fetch_add(1, std::memory_order_relaxed);
+    finish_error(h, QueryErrorCode::kShutdown);
+    h = next;
+  }
+}
+
+std::future<ResultSet> QueryBroker::prepare(QueryRequest&& req, bool stopped,
+                                            Request** out) {
+  *out = nullptr;
+  if (stopped) return error_future(QueryErrorCode::kShutdown);
+  if (req.cancel.cancelled()) {
+    if (stats_)
+      stats_->broker_cancelled.fetch_add(1, std::memory_order_relaxed);
+    return error_future(QueryErrorCode::kCancelled);
+  }
+  if (std::chrono::steady_clock::now() >= req.deadline) {
+    if (stats_)
+      stats_->broker_deadline_expired.fetch_add(1, std::memory_order_relaxed);
+    return error_future(QueryErrorCode::kDeadlineExceeded);
+  }
+  if (req.queries.empty()) {
+    // Nothing to execute: complete immediately at the relevant epoch —
+    // UNLESS the request is an AtLeastEpoch barrier whose epoch has
+    // not published yet; that must park like any other request and
+    // resolve (empty) only once the awaited epoch lands.
+    const auto* ae = std::get_if<AtLeastEpoch>(&req.consistency);
+    if (!ae || epochs_.cur_epoch() >= ae->epoch) {
+      ResultSet rs;
+      const auto* p = std::get_if<Pinned>(&req.consistency);
+      rs.epoch = p && p->snap ? p->snap->epoch() : epochs_.cur_epoch();
+      std::promise<ResultSet> pr;
+      pr.set_value(std::move(rs));
+      return pr.get_future();
+    }
+  }
+
+  // Admission control: respect the configured depth or reject now.
+  size_t cur = depth_.load(std::memory_order_relaxed);
+  do {
+    if (cur >= opt_.queue_depth) {
+      if (stats_)
+        stats_->broker_admission_rejects.fetch_add(1,
+                                                   std::memory_order_relaxed);
+      return error_future(QueryErrorCode::kAdmissionRejected);
+    }
+  } while (!depth_.compare_exchange_weak(cur, cur + 1,
+                                         std::memory_order_acq_rel));
+
+  Request* r = new Request;
+  r->req = std::move(req);
+  std::future<ResultSet> fut = r->promise.get_future();
+  if (stats_) {
+    stats_->broker_submits.fetch_add(1, std::memory_order_relaxed);
+    stats_->bump_max(stats_->broker_max_depth, cur + 1);
+  }
+  *out = r;
+  return fut;
+}
+
+std::future<ResultSet> QueryBroker::submit(QueryRequest req) {
+  Request* r = nullptr;
+  std::future<ResultSet> fut = prepare(std::move(req), stopped_.load(), &r);
+  if (!r) return fut;
+  bool was_empty = push_chain(r, r);
+  if (stopped_.load())
+    abort_intake();  // lost the race with shutdown: resolve, don't dangle
+  else if (was_empty)
+    nudge();
+  return fut;
+}
+
+std::vector<std::future<ResultSet>> QueryBroker::submit_batch(
+    std::vector<QueryRequest> reqs) {
+  std::vector<std::future<ResultSet>> futs;
+  futs.reserve(reqs.size());
+  Request* first = nullptr;
+  Request* last = nullptr;
+  const bool stopped = stopped_.load();
+  for (QueryRequest& req : reqs) {
+    Request* r = nullptr;
+    futs.push_back(prepare(std::move(req), stopped, &r));
+    if (!r) continue;
+    // Build the local chain; one CAS splices the whole batch, so the
+    // dispatcher is guaranteed to see it in a single cycle.
+    if (!first) {
+      first = last = r;
+    } else {
+      last->next = r;
+      last = r;
+    }
+  }
+  if (first) {
+    bool was_empty = push_chain(first, last);
+    if (stopped_.load())
+      abort_intake();
+    else if (was_empty)
+      nudge();
+  }
+  return futs;
+}
+
+void QueryBroker::shutdown() {
+  // Serialized: shutdown() is reachable from the service destructor
+  // and from any thread via SldService::broker() — double-join and
+  // double-drain must be impossible, not just unlikely.
+  std::lock_guard<std::mutex> shutdown_lk(shutdown_mu_);
+  stopped_.store(true);  // seq_cst: orders against submit's push + check
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (dispatcher_.joinable()) dispatcher_.join();
+  // The dispatcher is gone: everything still queued or parked resolves
+  // with kShutdown, so no future ever dangles.
+  abort_intake();
+  for (Request* r : parked_) {
+    if (stats_)
+      stats_->broker_shutdown_aborted.fetch_add(1, std::memory_order_relaxed);
+    finish_error(r, QueryErrorCode::kShutdown);
+  }
+  parked_.clear();
+  views_.clear();
+  if (hub_token_) {
+    hub_.remove(hub_token_);
+    hub_token_ = 0;
+  }
+}
+
+void QueryBroker::dispatcher_loop() {
+  std::unique_lock<std::mutex> lk(mu_);
+  while (!stop_) {
+    // Wake on submit nudges and publish signals; the interval bounds
+    // how long parked deadlines can go unswept (micro-batch timer).
+    cv_.wait_for(lk, opt_.interval, [&] {
+      return stop_ || intake_.load() != nullptr ||
+             published_.load(std::memory_order_acquire) > last_epoch_;
+    });
+    if (stop_) break;
+    if (intake_.load() == nullptr && parked_.empty() &&
+        published_.load(std::memory_order_acquire) <= last_epoch_)
+      continue;
+    lk.unlock();
+    dispatch_cycle();
+    lk.lock();
+  }
+}
+
+void QueryBroker::dispatch_cycle() {
+  // Drain the intake in one exchange and restore FIFO order.
+  std::vector<Request*> ready;
+  {
+    Request* h = intake_.exchange(nullptr);
+    for (Request* r = h; r; r = r->next) ready.push_back(r);
+    std::reverse(ready.begin(), ready.end());
+  }
+
+  EpochManager::Snap cur = epochs_.acquire();
+  last_epoch_ = cur->epoch();
+  ++cycle_;  // standing-cache age tick
+  const auto now = std::chrono::steady_clock::now();
+
+  // Unpark AtLeastEpoch waiters the epoch (or their deadline/token)
+  // released; the classify pass below sorts out which is which.
+  {
+    std::vector<Request*> still;
+    still.reserve(parked_.size());
+    for (Request* r : parked_) {
+      const auto* ae = std::get_if<AtLeastEpoch>(&r->req.consistency);
+      bool satisfied = !ae || cur->epoch() >= ae->epoch;
+      if (satisfied || r->req.cancel.cancelled() || now >= r->req.deadline)
+        ready.push_back(r);
+      else
+        still.push_back(r);
+    }
+    parked_.swap(still);
+  }
+
+  // Classify: expire / cancel / park without executing; group the rest
+  // by (snapshot, tau) ACROSS clients.
+  std::map<std::pair<const EngineSnapshot*, double>, size_t> index;
+  std::vector<Group> groups;
+  for (Request* r : ready) {
+    if (r->req.cancel.cancelled()) {
+      if (stats_)
+        stats_->broker_cancelled.fetch_add(1, std::memory_order_relaxed);
+      finish_error(r, QueryErrorCode::kCancelled);
+      continue;
+    }
+    if (now >= r->req.deadline) {
+      if (stats_)
+        stats_->broker_deadline_expired.fetch_add(1,
+                                                  std::memory_order_relaxed);
+      finish_error(r, QueryErrorCode::kDeadlineExceeded);
+      continue;
+    }
+    EpochManager::Snap snap = cur;
+    if (const auto* ae = std::get_if<AtLeastEpoch>(&r->req.consistency)) {
+      if (cur->epoch() < ae->epoch) {  // fresh arrival, epoch not there yet
+        parked_.push_back(r);
+        if (stats_)
+          stats_->broker_epoch_waits.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+    } else if (const auto* p = std::get_if<Pinned>(&r->req.consistency)) {
+      if (p->snap) snap = p->snap;
+    }
+    r->out.epoch = snap->epoch();
+    r->out.results.resize(r->req.queries.size());
+    if (r->req.queries.empty()) {
+      // Epoch barrier (empty AtLeastEpoch request): resolves with no
+      // results the moment the awaited epoch is current.
+      finish_ok(r);
+      continue;
+    }
+    uint32_t joined = 0;
+    for (uint32_t i = 0; i < r->req.queries.size(); ++i) {
+      double tau = query_tau(r->req.queries[i]);
+      auto [it, fresh] = index.try_emplace({snap.get(), tau}, groups.size());
+      if (fresh) {
+        Group g;
+        g.snap = snap;
+        g.tau = tau;
+        g.current = snap.get() == cur.get();
+        groups.push_back(std::move(g));
+      }
+      Group& g = groups[it->second];
+      // Requests are classified one at a time, so one request's items
+      // within a group form a contiguous run — joined counts runs.
+      if (g.items.empty() || g.items.back().first != r) ++joined;
+      g.items.emplace_back(r, i);
+    }
+    r->groups_left.store(joined, std::memory_order_relaxed);
+  }
+
+  if (!groups.empty()) {
+    // Standing-cache lookups happen here, on the dispatcher thread;
+    // the parallel phase below only reads the captured `prev` bases.
+    uint64_t group_requests = 0;
+    for (Group& g : groups) {
+      if (g.current) {
+        auto it = views_.find(g.tau);
+        if (it != views_.end()) g.prev = it->second.view;
+      }
+      Request* prev_r = nullptr;
+      for (const auto& [r, qi] : g.items) {
+        if (r != prev_r) {
+          ++group_requests;
+          prev_r = r;
+        }
+      }
+    }
+    if (stats_) {
+      stats_->broker_batches.fetch_add(1, std::memory_order_relaxed);
+      stats_->broker_groups.fetch_add(groups.size(),
+                                      std::memory_order_relaxed);
+      stats_->broker_group_requests.fetch_add(group_requests,
+                                              std::memory_order_relaxed);
+    }
+
+    // Execute the cross-client groups in parallel: one ThresholdView
+    // per (epoch, tau) — refreshed incrementally from the standing
+    // cache when possible — shared by every client in the group. A
+    // request is fulfilled by whichever group finishes it last.
+    par::parallel_for(
+        0, groups.size(),
+        [&](size_t gi) {
+          Group& g = groups[gi];
+          g.view = g.prev
+                       ? ThresholdView::refreshed(g.prev, g.snap)
+                       : std::make_shared<const ThresholdView>(g.snap, g.tau);
+          par::parallel_for(
+              0, g.items.size(),
+              [&](size_t j) {
+                const auto& [r, qi] = g.items[j];
+                r->out.results[qi] = g.view->run(r->req.queries[qi]);
+              },
+              /*grain=*/8);
+          Request* prev_r = nullptr;
+          for (const auto& [r, qi] : g.items) {
+            if (r == prev_r) continue;
+            prev_r = r;
+            if (r->groups_left.fetch_sub(1, std::memory_order_acq_rel) == 1)
+              finish_ok(r);
+          }
+        },
+        /*grain=*/1);
+  }
+
+  // Cache maintenance: absorb this cycle's current-epoch views, evict
+  // entries idle past kIdleEvictCycles (bounding per-publish refresh
+  // work to actively queried taus), and carry the survivors to the
+  // current epoch (the SubscribedView refresh-on-publish discipline —
+  // clean shards make this near-free, and it keeps a live entry from
+  // pinning superseded epochs).
+  std::set<double> used;
+  for (Group& g : groups) {
+    if (!g.current) continue;
+    views_[g.tau] = CachedView{g.view, cycle_};
+    used.insert(g.tau);
+  }
+  for (auto it = views_.begin(); it != views_.end();) {
+    CachedView& cv = it->second;
+    if (cycle_ - cv.last_used > kIdleEvictCycles) {
+      it = views_.erase(it);
+      continue;
+    }
+    if (cv.view->epoch() != cur->epoch())
+      cv.view = ThresholdView::refreshed(cv.view, cur);
+    ++it;
+  }
+  // Hard cap on actively-used taus: on cycles that queried, drop
+  // everything this cycle didn't touch once the cache overflows.
+  if (!used.empty() && views_.size() > kMaxCachedTaus) {
+    for (auto it = views_.begin(); it != views_.end();) {
+      if (used.count(it->first))
+        ++it;
+      else
+        it = views_.erase(it);
+    }
+  }
+}
+
+}  // namespace dynsld::engine

@@ -528,6 +528,19 @@ const SizeHistogram& ThresholdView::size_histogram() const {
   return label_set().hist;
 }
 
+uint64_t ThresholdView::num_clusters() const {
+  const auto& stats = snap_->stats();
+  if (stats) stats->q_num_clusters.fetch_add(1, std::memory_order_relaxed);
+  const ShardMap& map = snap_->shard_map();
+  uint64_t total = 0;
+  for (int k = 0; k < map.num_shards; ++k)
+    total += snap_->shard(k).num_clusters(tau_);
+  // Each cross-merge group collapses its member blobs — one per-shard
+  // cluster or cross-touched singleton each, all distinct — into one.
+  if (res_) total -= res_->blobs.size() - res_->group_size.size();
+  return total;
+}
+
 QueryResult ThresholdView::run(const Query& q) const {
   // This view's threshold is authoritative (see header); the request's
   // tau is only the ClusterView::run routing key.
@@ -548,6 +561,9 @@ QueryResult ThresholdView::run(const Query& q) const {
     }
     QueryResult operator()(const SizeHistogramQuery&) const {
       return v.size_histogram();
+    }
+    QueryResult operator()(const NumClustersQuery&) const {
+      return v.num_clusters();
     }
   };
   return std::visit(Dispatch{*this}, q);

@@ -134,6 +134,13 @@ class ThresholdView {
   /// histograms + cross-group sizes, not from the O(n) array).
   const SizeHistogram& size_histogram() const;
 
+  /// Number of clusters at tau(), singletons included — equal to
+  /// size_histogram().num_clusters() but assembled directly from the
+  /// per-shard rank-prefix counts corrected by the cross merge
+  /// (Σ shard clusters − blobs + groups): O(K log |nodes|), touching
+  /// neither histogram bins nor the O(n) label array.
+  uint64_t num_clusters() const;
+
   /// Dispatch one typed query. The view's threshold is authoritative:
   /// the request is answered at tau() regardless of its own tau field
   /// (which only ClusterView::run uses, to route each query to the

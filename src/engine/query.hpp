@@ -1,25 +1,42 @@
-// Typed batch query surface of the read plane (§6.1 query set).
+// Typed query surface of the read plane (§6.1 query set) and the
+// request envelopes of the asynchronous front door.
 //
 // A Query is one request struct per §6.1 query kind, closed over its
-// threshold tau, wrapped in a std::variant. ClusterView::run() groups a
-// batch by tau, resolves one ThresholdView per distinct threshold, and
-// executes the groups in parallel — so the per-threshold merge work
-// (cross-shard union-find + per-shard root resolution) is paid once per
-// tau per epoch, no matter how many queries share it.
+// threshold tau, wrapped in a std::variant. The batch executors
+// (ClusterView::run, the QueryBroker's dispatcher) group queries by
+// tau, resolve one ThresholdView per distinct threshold, and execute
+// the groups in parallel — so the per-threshold merge work (cross-shard
+// union-find + per-shard root resolution) is paid once per tau per
+// epoch, no matter how many queries — or clients — share it.
 //
 // QueryResult mirrors the request kinds positionally: bool for
-// SameCluster, uint64_t for ClusterSize, std::vector<vertex_id> for
-// ClusterReport and FlatClustering (member list / label array), and
-// SizeHistogram for the histogram request.
+// SameCluster, uint64_t for ClusterSize / NumClusters,
+// std::vector<vertex_id> for ClusterReport and FlatClustering (member
+// list / label array), and SizeHistogram for the histogram request.
+//
+// QueryRequest is the broker envelope (broker.hpp): the typed Query
+// payload plus a deadline, a consistency mode (Latest / AtLeastEpoch /
+// Pinned), and a cancellation token. submit() resolves the request's
+// std::future<ResultSet> with the answers, or with a typed QueryError
+// when the request was expired, cancelled, rejected at intake, or
+// aborted by shutdown — in every error case WITHOUT running any query
+// work.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
 #include <variant>
 #include <vector>
 
 #include "graph/types.hpp"
 
 namespace dynsld::engine {
+
+class EngineSnapshot;  // epoch.hpp; Pinned holds one by shared_ptr
 
 /// Are u and v in one cluster at threshold tau?
 struct SameClusterQuery {
@@ -50,12 +67,20 @@ struct SizeHistogramQuery {
   double tau;
 };
 
+/// Number of clusters at threshold tau (singletons included). Answered
+/// from the per-shard reassembly — each shard's count is a rank-prefix
+/// lookup, corrected by the cross merge's blob/group counts — without
+/// materializing histogram bins or the O(n) label array.
+struct NumClustersQuery {
+  double tau;
+};
+
 /// One typed request, closed over its threshold — the element of a
 /// run() batch. Every alternative carries a `tau` field (the grouping
 /// key, see query_tau).
 using Query = std::variant<SameClusterQuery, ClusterSizeQuery,
                            ClusterReportQuery, FlatClusteringQuery,
-                           SizeHistogramQuery>;
+                           SizeHistogramQuery, NumClustersQuery>;
 
 /// Cluster-size histogram: (size, number of clusters of that size),
 /// size-ascending.
@@ -72,9 +97,9 @@ struct SizeHistogram {
 };
 
 /// One answer, mirroring the request kinds positionally: bool for
-/// SameCluster, uint64_t for ClusterSize, vector<vertex_id> for
-/// ClusterReport (member list) and FlatClustering (label array),
-/// SizeHistogram for the histogram request.
+/// SameCluster, uint64_t for ClusterSize and NumClusters,
+/// vector<vertex_id> for ClusterReport (member list) and FlatClustering
+/// (label array), SizeHistogram for the histogram request.
 using QueryResult =
     std::variant<bool, uint64_t, std::vector<vertex_id>, SizeHistogram>;
 
@@ -82,5 +107,134 @@ using QueryResult =
 inline double query_tau(const Query& q) {
   return std::visit([](const auto& req) { return req.tau; }, q);
 }
+
+// ---- async request envelopes (the QueryBroker front door) ----
+
+/// Why a submitted request's future was resolved with an error instead
+/// of a ResultSet. In every case the request executed no query work.
+enum class QueryErrorCode {
+  kDeadlineExceeded,   ///< deadline passed before the request dispatched
+  kCancelled,          ///< its CancelToken fired while it was queued
+  kAdmissionRejected,  ///< intake was at queue-depth capacity at submit
+  kShutdown,           ///< the broker shut down with the request in flight
+};
+
+/// Human-readable name of an error code (log/diagnostic helper).
+inline const char* query_error_name(QueryErrorCode c) {
+  switch (c) {
+    case QueryErrorCode::kDeadlineExceeded: return "deadline exceeded";
+    case QueryErrorCode::kCancelled: return "cancelled";
+    case QueryErrorCode::kAdmissionRejected: return "admission rejected";
+    case QueryErrorCode::kShutdown: return "broker shutdown";
+  }
+  return "unknown";
+}
+
+/// The typed error a rejected/expired/cancelled/aborted request's
+/// future throws from get(). Requests that fail with a QueryError never
+/// executed: no view was resolved and no query counter moved on their
+/// behalf (counter-asserted in the broker tests).
+class QueryError : public std::runtime_error {
+ public:
+  explicit QueryError(QueryErrorCode code)
+      : std::runtime_error(std::string("QueryError: ") +
+                           query_error_name(code)),
+        code_(code) {}
+
+  QueryErrorCode code() const { return code_; }
+
+ private:
+  QueryErrorCode code_;
+};
+
+/// Read side of a cancellation handle. Default-constructed tokens never
+/// cancel; obtain a live one from CancelSource::token(). Copying is
+/// cheap (one shared_ptr) and all copies observe the same source.
+class CancelToken {
+ public:
+  CancelToken() = default;
+
+  /// Has the owning CancelSource requested cancellation?
+  bool cancelled() const {
+    return flag_ && flag_->load(std::memory_order_acquire);
+  }
+
+ private:
+  friend class CancelSource;
+  explicit CancelToken(std::shared_ptr<const std::atomic<bool>> flag)
+      : flag_(std::move(flag)) {}
+
+  std::shared_ptr<const std::atomic<bool>> flag_;
+};
+
+/// Write side of a cancellation handle: hand token() to any number of
+/// QueryRequests, then request_cancel() to abandon the ones still
+/// queued (in-flight execution is not interrupted — cancellation takes
+/// effect at dispatch, before any query work runs). Thread-safe.
+class CancelSource {
+ public:
+  CancelSource() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  /// Flip the token; queued requests carrying it resolve with
+  /// QueryError{kCancelled} at their next dispatch opportunity.
+  void request_cancel() { flag_->store(true, std::memory_order_release); }
+
+  /// A token observing this source.
+  CancelToken token() const { return CancelToken(flag_); }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+/// Consistency mode: answer at whatever epoch is current when the
+/// request dispatches (the default; all Latest requests of one dispatch
+/// cycle share one epoch, which is what makes them groupable across
+/// clients).
+struct Latest {};
+
+/// Consistency mode: hold the request until an epoch >= `epoch` is
+/// published, then answer at the then-current epoch. Lets a client read
+/// its own write: flush() returns the epoch to wait for. The request's
+/// deadline still applies while parked.
+struct AtLeastEpoch {
+  uint64_t epoch;
+};
+
+/// Consistency mode: answer against this exact pinned snapshot
+/// (obtained from SldService::snapshot() or ClusterView::snap()), no
+/// matter how many epochs publish meanwhile. A null snap behaves like
+/// Latest.
+struct Pinned {
+  std::shared_ptr<const EngineSnapshot> snap;
+};
+
+/// When/where a request's queries are answered (see the three modes).
+using Consistency = std::variant<Latest, AtLeastEpoch, Pinned>;
+
+/// Deadline clock of the request plane (steady: immune to wall-clock
+/// jumps). Deadline::max() — the default — means "no deadline".
+using Deadline = std::chrono::steady_clock::time_point;
+
+/// The broker envelope: one client request of any number of typed
+/// queries (mixed kinds and thresholds welcome — the dispatcher splits
+/// them into (epoch, tau) groups shared across clients), plus the
+/// request-plane controls. Aggregate-initializable:
+///
+///   svc.submit({.queries = {SameClusterQuery{u, v, tau}},
+///               .deadline = std::chrono::steady_clock::now() + 10ms});
+struct QueryRequest {
+  std::vector<Query> queries;
+  Consistency consistency = Latest{};
+  Deadline deadline = Deadline::max();
+  CancelToken cancel;
+};
+
+/// What a fulfilled request resolves to: results[i] answers queries[i],
+/// all computed against the single epoch `epoch` (mutually consistent,
+/// like any snapshot read).
+struct ResultSet {
+  std::vector<QueryResult> results;
+  uint64_t epoch = 0;
+};
 
 }  // namespace dynsld::engine

@@ -11,9 +11,18 @@ SldService::SldService(const ServiceConfig& cfg)
       router_(cfg.num_vertices, cfg.num_shards, cfg.index, stats_) {
   // Epoch 0: the empty snapshot, so readers never see a null view.
   epochs_.publish(router_.build_snapshot(0, nullptr, cfg_.capture_edges));
+  broker_ = std::make_unique<QueryBroker>(
+      epochs_, subs_, stats_,
+      QueryBroker::Options{cfg_.broker_queue_depth, cfg_.broker_interval});
 }
 
-SldService::~SldService() { stop_writer(); }
+SldService::~SldService() {
+  // Broker first: resolve in-flight futures while the epochs they may
+  // pin are still valid, and unhook its system subscription before the
+  // shutdown flush publishes.
+  broker_->shutdown();
+  stop_writer();
+}
 
 void SldService::nudge_writer() {
   if (queue_.pending() < cfg_.flush_threshold) return;
@@ -105,21 +114,38 @@ void SldService::writer_loop() {
   }
 }
 
+std::vector<QueryResult> SldService::run(std::span<const Query> queries) const {
+  if (queries.empty()) return {};
+  QueryRequest req;
+  req.queries.assign(queries.begin(), queries.end());
+  return broker_->submit(std::move(req)).get().results;
+}
+
+QueryResult SldService::run_one(Query q) const {
+  QueryRequest req;
+  req.queries.push_back(std::move(q));
+  return std::move(broker_->submit(std::move(req)).get().results[0]);
+}
+
 bool SldService::same_cluster(vertex_id s, vertex_id t, double tau) const {
-  return snapshot()->same_cluster(s, t, tau);
+  return std::get<bool>(run_one(SameClusterQuery{s, t, tau}));
 }
 
 uint64_t SldService::cluster_size(vertex_id u, double tau) const {
-  return snapshot()->cluster_size(u, tau);
+  return std::get<uint64_t>(run_one(ClusterSizeQuery{u, tau}));
 }
 
 std::vector<vertex_id> SldService::cluster_report(vertex_id u,
                                                   double tau) const {
-  return snapshot()->cluster_report(u, tau);
+  return std::get<std::vector<vertex_id>>(run_one(ClusterReportQuery{u, tau}));
 }
 
 std::vector<vertex_id> SldService::flat_clustering(double tau) const {
-  return snapshot()->flat_clustering(tau);
+  return std::get<std::vector<vertex_id>>(run_one(FlatClusteringQuery{tau}));
+}
+
+uint64_t SldService::num_clusters(double tau) const {
+  return std::get<uint64_t>(run_one(NumClustersQuery{tau}));
 }
 
 }  // namespace dynsld::engine

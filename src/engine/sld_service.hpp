@@ -4,11 +4,16 @@
 //
 //   writer side                          reader side
 //   -----------                          -----------
-//   insert()/erase() -> MutationQueue    view() -> ClusterView.at(tau)
-//        | drain (coalesced)                  ^      -> ThresholdView
-//        v                                    |  (epoch-consistent,
-//   ShardRouter::apply  ------ publish ----> EpochManager
-//   (per-shard batches, Thm 1.1/1.2/1.5)        lock-free queries)
+//   insert()/erase() -> MutationQueue    submit(QueryRequest)
+//        | drain (coalesced)                  | -> future<ResultSet>
+//        v                                    v
+//   ShardRouter::apply  ---- publish ---> QueryBroker (intake ->
+//   (per-shard batches,        |          dispatcher: group clients by
+//    Thm 1.1/1.2/1.5)          |          (epoch, tau), one view per
+//                              |          group, fulfill futures)
+//                              +--------> EpochManager / Subscription-
+//                                         Hub (pinned views: ClusterView
+//                                         / SubscribedView escape hatch)
 //
 // Mutations are cheap enqueues returning a ticket; a flush (caller-
 // driven via flush(), or the background writer thread) drains the
@@ -18,20 +23,33 @@
 // never block writers and vice versa: a reader holds a shared_ptr to
 // its epoch for as long as it likes.
 //
+// Queries default through the asynchronous request plane: submit() a
+// QueryRequest (deadline + consistency mode + cancellation token) and
+// get a std::future<ResultSet>; the broker batches concurrent clients'
+// requests into (epoch, tau) groups so the merge resolution is paid
+// once per group fleet-wide, not per caller (broker.hpp). The sync
+// surfaces — run() and the single-shot conveniences — are thin
+// submit-and-wait wrappers over one-element requests. Power users who
+// want explicit epoch pinning keep ClusterView / SubscribedView.
+//
 // Long-lived readers subscribe instead of polling: every publish
 // notifies the SubscriptionHub, and a SubscribedView refreshes its
 // resolved ThresholdViews incrementally against the epoch's delta
-// metadata (subscription.hpp) rather than rebuilding per epoch.
+// metadata (subscription.hpp) rather than rebuilding per epoch. The
+// broker's dispatcher rides the same publish signal as a system
+// subscriber.
 #pragma once
 
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <future>
 #include <memory>
 #include <mutex>
 #include <span>
 #include <thread>
 
+#include "engine/broker.hpp"
 #include "engine/cluster_view.hpp"
 #include "engine/epoch.hpp"
 #include "engine/mutation_queue.hpp"
@@ -53,6 +71,12 @@ struct ServiceConfig {
   std::chrono::microseconds flush_interval{200};
   /// Epoch snapshots carry their full edge set (verification mode).
   bool capture_edges = false;
+  /// Broker admission control: submits beyond this many in-flight
+  /// requests are rejected with QueryError{kAdmissionRejected}.
+  size_t broker_queue_depth = 4096;
+  /// Broker dispatcher micro-batch timer (liveness fallback + parked
+  /// deadline sweep granularity; submits and publishes wake it sooner).
+  std::chrono::microseconds broker_interval{200};
 };
 
 /// The serving engine's facade: thread-safe update enqueue + flush on
@@ -62,9 +86,12 @@ struct ServiceConfig {
 /// self-consistent no matter how many flushes happen meanwhile.
 class SldService {
  public:
-  /// Construct with epoch 0 published (the empty snapshot).
+  /// Construct with epoch 0 published (the empty snapshot) and the
+  /// broker dispatcher running.
   explicit SldService(const ServiceConfig& cfg);
-  /// Stops the background writer. Destroy all SubscribedViews first.
+  /// Shuts the broker down (in-flight futures resolve with
+  /// QueryError{kShutdown}) and stops the background writer. Destroy
+  /// all SubscribedViews first.
   ~SldService();
 
   SldService(const SldService&) = delete;
@@ -96,23 +123,44 @@ class SldService {
 
   // ---- query front-end (thread-safe, wait-free vs the writer) ----
 
+  /// Submit one request to the asynchronous request plane — the
+  /// default read path. The broker groups concurrent clients' queries
+  /// by (epoch, tau), resolves one ThresholdView per group, and
+  /// fulfills the future; requests that expire, cancel, overflow the
+  /// intake, or outlive the service resolve with a typed QueryError
+  /// instead and never execute (broker.hpp).
+  std::future<ResultSet> submit(QueryRequest req) const {
+    return broker_->submit(std::move(req));
+  }
+
+  /// Submit several requests as one atomic intake splice: the
+  /// dispatcher sees them in the same cycle, so shared (epoch, tau)
+  /// groups collapse deterministically. futures[i] answers reqs[i].
+  std::vector<std::future<ResultSet>> submit_batch(
+      std::vector<QueryRequest> reqs) const {
+    return broker_->submit_batch(std::move(reqs));
+  }
+
+  /// The request plane itself (depth introspection; submit through the
+  /// service facade).
+  QueryBroker& broker() const { return *broker_; }
+
   /// The current epoch snapshot. All queries on it are mutually
   /// consistent; hold it across several calls for a transaction-like
   /// read view.
   EpochManager::Snap snapshot() const { return epochs_.acquire(); }
 
-  /// Pin the current epoch as a ClusterView: the full query surface,
-  /// with per-threshold merge resolution cached across calls. This is
-  /// the primary read API; view().at(tau) amortizes all tau-dependent
-  /// work over every query at that threshold.
+  /// Pin the current epoch as a ClusterView: the full query surface
+  /// with per-threshold merge resolution cached across calls — the
+  /// power-user pinned-epoch escape hatch (the broker is the default
+  /// path; a pinned view never moves epochs under you).
   ClusterView view() const { return ClusterView(epochs_.acquire()); }
 
-  /// Execute a typed query batch against the current epoch (one
-  /// transient view: grouped by tau, resolved once per threshold, run
-  /// in parallel). results[i] answers queries[i].
-  std::vector<QueryResult> run(std::span<const Query> queries) const {
-    return view().run(queries);
-  }
+  /// Synchronous convenience: submit-and-wait on one Latest request.
+  /// results[i] answers queries[i], all at one epoch. Batch traffic
+  /// that can tolerate a future should prefer submit(): same
+  /// amortization, no blocking. Throws QueryError like any submit.
+  std::vector<QueryResult> run(std::span<const Query> queries) const;
 
   // ---- subscriptions (push half of the read plane) ----
 
@@ -124,13 +172,15 @@ class SldService {
   SubscriptionHub& subscriptions() { return subs_; }
   const SubscriptionHub& subscriptions() const { return subs_; }
 
-  /// Convenience single-shot queries against the current epoch — thin
-  /// one-query wrappers over a transient view; batch traffic should use
-  /// view()/run() so the merge resolution amortizes.
+  /// Convenience single-shot queries — submit-and-wait wrappers over
+  /// one-element requests, so even stray single calls join the
+  /// broker's cross-client (epoch, tau) groups instead of paying their
+  /// own merge resolution. Throw QueryError like any submit.
   bool same_cluster(vertex_id s, vertex_id t, double tau) const;
   uint64_t cluster_size(vertex_id u, double tau) const;
   std::vector<vertex_id> cluster_report(vertex_id u, double tau) const;
   std::vector<vertex_id> flat_clustering(double tau) const;
+  uint64_t num_clusters(double tau) const;
 
   // ---- introspection ----
 
@@ -144,6 +194,9 @@ class SldService {
  private:
   void writer_loop();
   void nudge_writer();
+  /// Submit-and-wait on a one-element Latest request (the convenience
+  /// wrappers' shared path).
+  QueryResult run_one(Query q) const;
 
   ServiceConfig cfg_;
   std::shared_ptr<EngineStats> stats_;
@@ -151,6 +204,7 @@ class SldService {
   ShardRouter router_;  // guarded by flush_mu_
   EpochManager epochs_;
   SubscriptionHub subs_;
+  std::unique_ptr<QueryBroker> broker_;  // after subs_: dies first
   uint64_t next_epoch_ = 1;  // guarded by flush_mu_
   std::mutex flush_mu_;
 

@@ -119,6 +119,14 @@ uint64_t DendrogramSnapshot::cluster_size(vertex_id u, double tau) const {
   return top == kNoSlot ? 1 : count_[top];
 }
 
+uint64_t DendrogramSnapshot::num_clusters(double tau) const {
+  // Nodes are rank-sorted, so weights are non-decreasing: the sub-tau
+  // node count is the weight table's upper-bound prefix.
+  size_t merges =
+      std::upper_bound(weight_.begin(), weight_.end(), tau) - weight_.begin();
+  return n_ - merges;
+}
+
 void DendrogramSnapshot::members_of(int32_t top,
                                     std::vector<vertex_id>& out) const {
   std::vector<int32_t> stack{top};

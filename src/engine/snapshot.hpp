@@ -70,6 +70,13 @@ class DendrogramSnapshot {
   /// Vertex count of v's cluster at tau. O(log h).
   uint64_t cluster_size(vertex_id u, double tau) const;
 
+  /// Number of clusters of the shard's subgraph at threshold tau,
+  /// singletons included. Each dendrogram node is one MSF edge and
+  /// each sub-tau edge merges two clusters, so the count is n minus
+  /// the rank-sorted node table's sub-tau prefix — one binary search,
+  /// O(log |nodes|), no bins or labels materialized.
+  uint64_t num_clusters(double tau) const;
+
   /// Append the members of slot `top`'s cluster to `out`. O(|cluster|).
   void members_of(int32_t top, std::vector<vertex_id>& out) const;
 

@@ -38,6 +38,7 @@ struct EngineStats {
   std::atomic<uint64_t> q_cluster_report{0};
   std::atomic<uint64_t> q_flat_clustering{0};
   std::atomic<uint64_t> q_size_histogram{0};
+  std::atomic<uint64_t> q_num_clusters{0};
   // -- view plane --
   std::atomic<uint64_t> views_built{0};       // ThresholdView resolutions
   std::atomic<uint64_t> cross_uf_builds{0};   // full cross-shard union-find builds
@@ -56,6 +57,17 @@ struct EngineStats {
   std::atomic<uint64_t> labels_rebuilt{0};  // global label materializations
   std::atomic<uint64_t> labels_patched{0};  // prev labels copied + patched
   std::atomic<uint64_t> labels_reused{0};   // prev LabelSet adopted wholesale
+  // -- broker (async request plane) --
+  std::atomic<uint64_t> broker_submits{0};        // requests accepted at intake
+  std::atomic<uint64_t> broker_batches{0};        // dispatch cycles with groups
+  std::atomic<uint64_t> broker_groups{0};         // (epoch, tau) groups resolved
+  std::atomic<uint64_t> broker_group_requests{0};  // per-group distinct requests
+  std::atomic<uint64_t> broker_epoch_waits{0};    // AtLeastEpoch requests parked
+  std::atomic<uint64_t> broker_admission_rejects{0};  // intake over queue depth
+  std::atomic<uint64_t> broker_deadline_expired{0};   // expired, never executed
+  std::atomic<uint64_t> broker_cancelled{0};          // cancelled while queued
+  std::atomic<uint64_t> broker_shutdown_aborted{0};   // resolved at shutdown
+  std::atomic<uint64_t> broker_max_depth{0};          // queue-depth high-water
 
   /// A plain (non-atomic) copy of every counter, for printing and
   /// test assertions.
@@ -65,17 +77,28 @@ struct EngineStats {
         shard_batches, cross_ops, epochs_published, snapshot_build_ns,
         shard_snapshots_built, shard_snapshots_reused, q_same_cluster,
         q_cluster_size, q_cluster_report, q_flat_clustering, q_size_histogram,
-        views_built, cross_uf_builds, batch_runs, batch_queries, subs_notified,
-        sub_refreshes, refresh_views_reused, refresh_views_incremental,
-        refresh_views_full, refresh_shards_reused, refresh_shards_rebuilt,
-        cross_uf_incremental, labels_rebuilt, labels_patched, labels_reused;
+        q_num_clusters, views_built, cross_uf_builds, batch_runs,
+        batch_queries, subs_notified, sub_refreshes, refresh_views_reused,
+        refresh_views_incremental, refresh_views_full, refresh_shards_reused,
+        refresh_shards_rebuilt, cross_uf_incremental, labels_rebuilt,
+        labels_patched, labels_reused, broker_submits, broker_batches,
+        broker_groups, broker_group_requests, broker_epoch_waits,
+        broker_admission_rejects, broker_deadline_expired, broker_cancelled,
+        broker_shutdown_aborted, broker_max_depth;
 
     uint64_t queries() const {
       return q_same_cluster + q_cluster_size + q_cluster_report +
-             q_flat_clustering + q_size_histogram;
+             q_flat_clustering + q_size_histogram + q_num_clusters;
     }
     double avg_batch() const {
       return flushes ? static_cast<double>(ops_applied) / flushes : 0.0;
+    }
+    /// Mean number of distinct client requests sharing one (epoch, tau)
+    /// group — the cross-client amortization factor of the broker.
+    double avg_group_requests() const {
+      return broker_groups
+                 ? static_cast<double>(broker_group_requests) / broker_groups
+                 : 0.0;
     }
   };
 
@@ -89,21 +112,29 @@ struct EngineStats {
                   r(epochs_published), r(snapshot_build_ns),
                   r(shard_snapshots_built), r(shard_snapshots_reused),
                   r(q_same_cluster), r(q_cluster_size), r(q_cluster_report),
-                  r(q_flat_clustering), r(q_size_histogram), r(views_built),
-                  r(cross_uf_builds), r(batch_runs), r(batch_queries),
-                  r(subs_notified), r(sub_refreshes), r(refresh_views_reused),
-                  r(refresh_views_incremental), r(refresh_views_full),
-                  r(refresh_shards_reused), r(refresh_shards_rebuilt),
-                  r(cross_uf_incremental), r(labels_rebuilt), r(labels_patched),
-                  r(labels_reused)};
+                  r(q_flat_clustering), r(q_size_histogram), r(q_num_clusters),
+                  r(views_built), r(cross_uf_builds), r(batch_runs),
+                  r(batch_queries), r(subs_notified), r(sub_refreshes),
+                  r(refresh_views_reused), r(refresh_views_incremental),
+                  r(refresh_views_full), r(refresh_shards_reused),
+                  r(refresh_shards_rebuilt), r(cross_uf_incremental),
+                  r(labels_rebuilt), r(labels_patched), r(labels_reused),
+                  r(broker_submits), r(broker_batches), r(broker_groups),
+                  r(broker_group_requests), r(broker_epoch_waits),
+                  r(broker_admission_rejects), r(broker_deadline_expired),
+                  r(broker_cancelled), r(broker_shutdown_aborted),
+                  r(broker_max_depth)};
   }
 
-  void bump_max_batch(uint64_t sz) {
-    uint64_t cur = max_batch.load(std::memory_order_relaxed);
-    while (sz > cur &&
-           !max_batch.compare_exchange_weak(cur, sz, std::memory_order_relaxed)) {
+  /// Raise a monotone high-water counter to at least `v`.
+  static void bump_max(std::atomic<uint64_t>& a, uint64_t v) {
+    uint64_t cur = a.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
     }
   }
+
+  void bump_max_batch(uint64_t sz) { bump_max(max_batch, sz); }
 };
 
 inline void print_report(const EngineStats::Report& r, std::FILE* out = stdout) {
@@ -145,6 +176,21 @@ inline void print_report(const EngineStats::Report& r, std::FILE* out = stdout) 
                  (unsigned long long)r.labels_rebuilt,
                  (unsigned long long)r.labels_patched,
                  (unsigned long long)r.labels_reused);
+  if (r.broker_submits || r.broker_admission_rejects ||
+      r.broker_deadline_expired)
+    std::fprintf(out,
+                 "broker: %llu submits  %llu cycles  %llu groups (%.1f "
+                 "reqs/group)  %llu epoch-waits  depth max %llu  rejected "
+                 "%llu  expired %llu  cancelled %llu  aborted %llu\n",
+                 (unsigned long long)r.broker_submits,
+                 (unsigned long long)r.broker_batches,
+                 (unsigned long long)r.broker_groups, r.avg_group_requests(),
+                 (unsigned long long)r.broker_epoch_waits,
+                 (unsigned long long)r.broker_max_depth,
+                 (unsigned long long)r.broker_admission_rejects,
+                 (unsigned long long)r.broker_deadline_expired,
+                 (unsigned long long)r.broker_cancelled,
+                 (unsigned long long)r.broker_shutdown_aborted);
 }
 
 }  // namespace dynsld::engine

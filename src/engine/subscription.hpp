@@ -63,11 +63,15 @@ class SubscriptionHub {
   using Callback = std::function<void(const EpochManager::Snap&)>;
 
   /// Register; the callback fires on every subsequent publish.
-  Token add(Callback cb) {
-    std::lock_guard<std::mutex> lk(mu_);
-    Token t = next_++;
-    subs_.emplace_back(t, std::move(cb));
-    return t;
+  Token add(Callback cb) { return add_entry(std::move(cb), /*system=*/false); }
+
+  /// Register an infrastructure subscriber (the service's QueryBroker
+  /// dispatcher wake-up rides this). Fires exactly like a user
+  /// subscription but is excluded from size() and from notify()'s fired
+  /// count, so user-facing accounting — including the subs_notified
+  /// counter — keeps meaning "user subscribers".
+  Token add_system(Callback cb) {
+    return add_entry(std::move(cb), /*system=*/true);
   }
 
   /// Unregister. Serialized with notify(): once remove() returns the
@@ -76,7 +80,7 @@ class SubscriptionHub {
   void remove(Token t) {
     std::lock_guard<std::mutex> lk(mu_);
     for (size_t i = 0; i < subs_.size(); ++i) {
-      if (subs_[i].first == t) {
+      if (subs_[i].token == t) {
         subs_.erase(subs_.begin() + i);
         return;
       }
@@ -85,25 +89,46 @@ class SubscriptionHub {
 
   /// Deliver `snap` to every subscriber (on the calling thread, under
   /// the hub lock — see the header's threading contract). Returns how
-  /// many callbacks fired. Deliberate tradeoff: holding the lock makes
-  /// remove() a hard barrier (safe teardown), at the cost that a slow
-  /// callback delays other subscribers, concurrent flushes' notifies,
-  /// and removals — keep hooks cheap.
+  /// many *user* callbacks fired (system subscribers run but are not
+  /// counted). Deliberate tradeoff: holding the lock makes remove() a
+  /// hard barrier (safe teardown), at the cost that a slow callback
+  /// delays other subscribers, concurrent flushes' notifies, and
+  /// removals — keep hooks cheap.
   size_t notify(const EpochManager::Snap& snap) const {
     std::lock_guard<std::mutex> lk(mu_);
-    for (const auto& [token, cb] : subs_) cb(snap);
-    return subs_.size();
+    size_t fired = 0;
+    for (const auto& e : subs_) {
+      e.cb(snap);
+      fired += !e.system;
+    }
+    return fired;
   }
 
+  /// Registered *user* subscribers (system registrations excluded).
   size_t size() const {
     std::lock_guard<std::mutex> lk(mu_);
-    return subs_.size();
+    size_t n = 0;
+    for (const auto& e : subs_) n += !e.system;
+    return n;
   }
 
  private:
+  struct Entry {
+    Token token;
+    Callback cb;
+    bool system;
+  };
+
+  Token add_entry(Callback cb, bool system) {
+    std::lock_guard<std::mutex> lk(mu_);
+    Token t = next_++;
+    subs_.push_back(Entry{t, std::move(cb), system});
+    return t;
+  }
+
   mutable std::mutex mu_;
   Token next_ = 1;
-  std::vector<std::pair<Token, Callback>> subs_;
+  std::vector<Entry> subs_;
 };
 
 /// A long-lived reader registered with the service: it keeps its

@@ -188,6 +188,10 @@ void run_schedule(const Scenario& sc, uint64_t seed) {
         ASSERT_EQ(lab[lab[v]], lab[v]) << "label not canonical, v=" << v;
       }
       ASSERT_EQ(subv->size_histogram(), ref_histogram(ref));
+      // NumClusters reassembles from per-shard prefix counts + the
+      // cross merge; it must agree with the histogram and the oracle.
+      ASSERT_EQ(subv->num_clusters(), ref_histogram(ref).num_clusters());
+      ASSERT_EQ(fresh->num_clusters(), subv->num_clusters());
       for (int q = 0; q < 12; ++q) {
         auto [s, t] = test::random_distinct_pair(rng, sc.n);
         ASSERT_EQ(subv->same_cluster(s, t), ref[s] == ref[t])
@@ -204,6 +208,45 @@ void run_schedule(const Scenario& sc, uint64_t seed) {
       std::sort(rep_fresh.begin(), rep_fresh.end());
       ASSERT_EQ(rep_sub, rep_fresh);
       ASSERT_EQ(rep_sub.size(), ref_cluster_size(ref, u));
+    }
+
+    // (4) Async plane: a random slice of the same query mix routed
+    // through submit() — pinned to this verified epoch — must answer
+    // bit-for-bit like the direct pinned views (reports as sorted
+    // sets: member order may differ across refresh histories). The
+    // broker's standing views refresh incrementally across the
+    // schedule's epochs, so this also differentials the cached-refresh
+    // path behind the public async API on every schedule.
+    {
+      std::vector<Query> slice;
+      for (double tau : taus) {
+        auto [s, t] = test::random_distinct_pair(rng, sc.n);
+        if (rng.next_double() < 0.8) slice.push_back(SameClusterQuery{s, t, tau});
+        if (rng.next_double() < 0.8) slice.push_back(ClusterSizeQuery{s, tau});
+        if (rng.next_double() < 0.5) slice.push_back(ClusterReportQuery{t, tau});
+        if (rng.next_double() < 0.5) slice.push_back(NumClustersQuery{tau});
+        if (rng.next_double() < 0.3) slice.push_back(FlatClusteringQuery{tau});
+        if (rng.next_double() < 0.3) slice.push_back(SizeHistogramQuery{tau});
+      }
+      QueryRequest req;
+      req.queries = slice;
+      req.consistency = Pinned{snap};
+      ResultSet rs = svc.submit(std::move(req)).get();
+      ASSERT_EQ(rs.epoch, epoch);
+      ASSERT_EQ(rs.results.size(), slice.size());
+      for (size_t i = 0; i < slice.size(); ++i) {
+        SCOPED_TRACE("submit slice i=" + std::to_string(i));
+        QueryResult direct = fresh_view.at(query_tau(slice[i]))->run(slice[i]);
+        if (std::holds_alternative<ClusterReportQuery>(slice[i])) {
+          auto got = std::get<std::vector<vertex_id>>(rs.results[i]);
+          auto want = std::get<std::vector<vertex_id>>(direct);
+          std::sort(got.begin(), got.end());
+          std::sort(want.begin(), want.end());
+          ASSERT_EQ(got, want);
+        } else {
+          ASSERT_TRUE(rs.results[i] == direct);
+        }
+      }
     }
   }
 }
