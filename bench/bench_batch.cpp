@@ -50,7 +50,8 @@ Workload make(vertex_id n, size_t k, uint64_t seed) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_json_arg(argc, argv, "batch", /*smoke=*/false, /*workers=*/1);
   bench::header("E5", "batch insert/delete vs k singles vs static rebuild (Thm 1.5)");
   bench::row("%8s %9s %14s %14s %14s %14s", "k", "n", "batch_ins_ms",
              "single_ins_ms", "batch_del_ms", "static_ms");
@@ -91,6 +92,12 @@ int main() {
 
     bench::row("%8zu %9u %14.2f %14.2f %14.2f %14.2f", k, n, batch_ins,
                single_ins, batch_del, stat);
+    std::string ks = std::to_string(k);
+    bench::json_log().metric("E5", "batch_ins_ms_k" + ks, batch_ins, "ms");
+    bench::json_log().metric("E5", "single_ins_ms_k" + ks, single_ins, "ms");
+    bench::json_log().metric("E5", "batch_del_ms_k" + ks, batch_del, "ms");
+    bench::json_log().metric("E5", "static_ms_k" + ks, stat, "ms");
   }
+  bench::json_log().write();
   return 0;
 }

@@ -89,6 +89,8 @@ static void concurrent_serving(bool smoke) {
       bench::row("%8d %12.0f %14s %14s %8s %10llu", readers,
                  amortized.updates_per_s, "-", "-", "-",
                  (unsigned long long)amortized.epochs_published);
+      bench::json_log().metric("E-ENGINE-1", "updates_per_s_r0",
+                               amortized.updates_per_s, "updates/s");
     } else {
       bench::row("%8d %12.0f %14.0f %14.0f %7.1fx %10llu", readers,
                  amortized.updates_per_s, per_call.queries_per_s,
@@ -97,6 +99,11 @@ static void concurrent_serving(bool smoke) {
                      ? amortized.queries_per_s / per_call.queries_per_s
                      : 0.0,
                  (unsigned long long)amortized.epochs_published);
+      std::string rs = std::to_string(readers);
+      bench::json_log().metric("E-ENGINE-1", "updates_per_s_r" + rs,
+                               amortized.updates_per_s, "updates/s");
+      bench::json_log().metric("E-ENGINE-1", "qps_amortized_r" + rs,
+                               amortized.queries_per_s, "q/s");
     }
   }
 }
@@ -122,6 +129,28 @@ static void shard_scaling(bool smoke) {
     bench::row("%8d %12.0f %10llu %14llu %12.2f", shards, rep.updates_per_s,
                (unsigned long long)rep.epochs_published,
                (unsigned long long)svc.stats().cross_ops, rep.wall_ms);
+    std::string ss = std::to_string(shards);
+    bench::json_log().metric("E-ENGINE-2", "updates_per_s_s" + ss,
+                             rep.updates_per_s, "updates/s");
+    bench::json_log().metric("E-ENGINE-2", "wall_ms_s" + ss, rep.wall_ms,
+                             "ms");
+    if (shards == 8) {
+      // Per-stage flush percentiles for the trajectory, straight from
+      // the engine's histograms (the obs subsystem measuring itself —
+      // the replay above drove the full drain/apply/build/publish
+      // pipeline through them).
+      auto m = svc.obs().registry.scrape();
+      for (const char* stage : {"drain", "apply", "shards", "cross"}) {
+        const auto* h = m.histogram(std::string("flush.") + stage);
+        if (!h || h->count == 0) continue;
+        bench::json_log().metric("E-ENGINE-2",
+                                 std::string("flush_") + stage + "_p50_us",
+                                 h->p50() / 1e3, "us");
+        bench::json_log().metric("E-ENGINE-2",
+                                 std::string("flush_") + stage + "_p99_us",
+                                 h->p99() / 1e3, "us");
+      }
+    }
   }
 }
 
@@ -153,9 +182,14 @@ static void coalescing(bool smoke) {
     svc.flush();
     auto r = svc.stats();
     uint64_t enq = r.inserts_enqueued + r.erases_enqueued;
+    double pct = enq ? 100.0 * (enq - r.ops_applied) / enq : 0.0;
     bench::row("%12.1f %12llu %12llu %13.1f%%", churn,
                (unsigned long long)enq, (unsigned long long)r.ops_applied,
-               enq ? 100.0 * (enq - r.ops_applied) / enq : 0.0);
+               pct);
+    bench::json_log().metric(
+        "E-ENGINE-3",
+        "coalesced_pct_c" + std::to_string(static_cast<int>(churn * 100)),
+        pct, "%");
   }
 }
 
@@ -246,6 +280,11 @@ static void view_amortization(bool smoke) {
              "merge resolutions:",
              (unsigned long long)(after.cross_uf_builds - before.cross_uf_builds),
              q);
+  bench::json_log().metric("E-ENGINE-4", "per_call_ms", per_call_ms, "ms");
+  bench::json_log().metric("E-ENGINE-4", "view_ms", view_ms, "ms");
+  bench::json_log().metric("E-ENGINE-4", "batch_ms", batch_ms, "ms");
+  bench::json_log().metric("E-ENGINE-4", "view_speedup",
+                           view_ms > 0 ? per_call_ms / view_ms : 0.0, "x");
   (void)results;
 }
 
@@ -343,6 +382,12 @@ static void subscription_refresh(bool smoke) {
                                   before.cross_uf_incremental),
              (unsigned long long)(after.refresh_views_full -
                                   before.refresh_views_full));
+  bench::json_log().metric("E-ENGINE-5", "fresh_ms_per_epoch",
+                           fresh_ms / rounds, "ms");
+  bench::json_log().metric("E-ENGINE-5", "refresh_ms_per_epoch",
+                           sub_ms / rounds, "ms");
+  bench::json_log().metric("E-ENGINE-5", "refresh_speedup",
+                           sub_ms > 0 ? fresh_ms / sub_ms : 0.0, "x");
   if (sanity != static_cast<size_t>(rounds))
     bench::row("WARNING: refresh/fresh divergence in %zu rounds",
                rounds - sanity);
@@ -439,6 +484,12 @@ static void label_maintenance(bool smoke) {
              (unsigned long long)(after.labels_rebuilt - before.labels_rebuilt),
              (unsigned long long)(after.labels_patched - before.labels_patched),
              (unsigned long long)(after.labels_reused - before.labels_reused));
+  bench::json_log().metric("E-ENGINE-6", "full_relabel_ms_per_epoch",
+                           full_ms / rounds, "ms");
+  bench::json_log().metric("E-ENGINE-6", "patched_ms_per_epoch",
+                           patched_ms / rounds, "ms");
+  bench::json_log().metric("E-ENGINE-6", "patch_speedup",
+                           patched_ms > 0 ? full_ms / patched_ms : 0.0, "x");
   if (sanity != static_cast<size_t>(rounds))
     bench::row("WARNING: patched/full label divergence in %zu rounds",
                rounds - sanity);
@@ -458,6 +509,10 @@ static void broker_cross_client(bool smoke) {
   struct Row {
     double wall_ms = 0, qps = 0, res_per_round = 0, reqs_per_group = 0;
     double p50_us = 0, p99_us = 0;
+    // Engine-side fulfillment latency (broker.fulfill histogram:
+    // admission to promise resolution), vs the client-side p50/p99
+    // above which include future-reap scheduling.
+    double fulfill_p50_us = 0, fulfill_p99_us = 0;
   };
 
   auto run_mode = [&](Mode mode) {
@@ -573,6 +628,11 @@ static void broker_cross_client(bool smoke) {
       row.p50_us = 1e3 * lats[lats.size() / 2];
       row.p99_us = 1e3 * lats[lats.size() * 99 / 100];
     }
+    auto scrape = svc.obs().registry.scrape();
+    if (const auto* h = scrape.histogram("broker.fulfill"); h && h->count) {
+      row.fulfill_p50_us = h->p50() / 1e3;
+      row.fulfill_p99_us = h->p99() / 1e3;
+    }
     return row;
   };
 
@@ -599,6 +659,25 @@ static void broker_cross_client(bool smoke) {
   bench::row("%-22s per-caller pays ~%d resolutions/epoch; the broker pays "
              "~1 per (epoch, tau) group fleet-wide",
              "amortization:", clients);
+  bench::row("%-22s sync p50/p99 %0.2f/%0.2f us, async p50/p99 %0.2f/%0.2f "
+             "us (broker.fulfill histogram)",
+             "engine-side latency:", sync_run.fulfill_p50_us,
+             sync_run.fulfill_p99_us, async.fulfill_p50_us,
+             async.fulfill_p99_us);
+  bench::json_log().metric("E-ENGINE-7", "qps_per_caller", per_caller.qps,
+                           "q/s");
+  bench::json_log().metric("E-ENGINE-7", "qps_sync", sync_run.qps, "q/s");
+  bench::json_log().metric("E-ENGINE-7", "qps_async", async.qps, "q/s");
+  bench::json_log().metric("E-ENGINE-7", "res_per_epoch_async",
+                           async.res_per_round, "count");
+  bench::json_log().metric("E-ENGINE-7", "reqs_per_group_async",
+                           async.reqs_per_group, "count");
+  bench::json_log().metric("E-ENGINE-7", "client_p50_us", async.p50_us, "us");
+  bench::json_log().metric("E-ENGINE-7", "client_p99_us", async.p99_us, "us");
+  bench::json_log().metric("E-ENGINE-7", "broker_fulfill_p50_us",
+                           async.fulfill_p50_us, "us");
+  bench::json_log().metric("E-ENGINE-7", "broker_fulfill_p99_us",
+                           async.fulfill_p99_us, "us");
   if (per_caller.res_per_round < clients * 0.9)
     bench::row("WARNING: per-caller baseline resolved fewer views than "
                "expected (%.1f/epoch)", per_caller.res_per_round);
@@ -612,6 +691,7 @@ int main(int argc, char** argv) {
   bool smoke = false;
   for (int i = 1; i < argc; ++i)
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  bench::parse_json_arg(argc, argv, "engine", smoke, par::num_workers());
   std::printf("workers: %d%s\n", par::num_workers(), smoke ? " (smoke)" : "");
   concurrent_serving(smoke);
   shard_scaling(smoke);
@@ -620,5 +700,6 @@ int main(int argc, char** argv) {
   subscription_refresh(smoke);
   label_maintenance(smoke);
   broker_cross_client(smoke);
+  bench::json_log().write();
   return 0;
 }

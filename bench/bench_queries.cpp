@@ -15,7 +15,8 @@
 using namespace dynsld;
 using bench::Timer;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::parse_json_arg(argc, argv, "queries", /*smoke=*/false, /*workers=*/1);
   bench::header("T2", "queries: explicit SLD (DynSLD) vs MSF-only crawl");
   bench::row("%9s %9s %12s %12s %12s %12s %12s", "S", "n", "thresh_us",
              "size_us", "size_crawl", "report_us", "report_crawl");
@@ -59,6 +60,15 @@ int main() {
     }
     bench::row("%9u %9u %12.2f %12.2f %12.2f %12.2f %12.2f", S, n, th_us / reps,
                sz_us / reps, szc_us / reps, rp_us / reps, rpc_us / reps);
+    std::string Ss = std::to_string(S);
+    bench::json_log().metric("T2", "thresh_us_S" + Ss, th_us / reps, "us");
+    bench::json_log().metric("T2", "size_us_S" + Ss, sz_us / reps, "us");
+    bench::json_log().metric("T2", "size_crawl_us_S" + Ss, szc_us / reps,
+                             "us");
+    bench::json_log().metric("T2", "report_us_S" + Ss, rp_us / reps, "us");
+    bench::json_log().metric("T2", "report_crawl_us_S" + Ss, rpc_us / reps,
+                             "us");
   }
+  bench::json_log().write();
   return 0;
 }

@@ -9,21 +9,29 @@
 // demo closes with read-your-writes via AtLeastEpoch and a submit_batch
 // mixing thresholds.
 //
-//   $ ./serving_demo
+//   $ ./serving_demo             # human-readable stats line at the end
+//   $ ./serving_demo --metrics   # plus the full registry scrape as
+//                                # JSON on stderr (counters, gauges,
+//                                # flush/broker latency histograms)
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <future>
 #include <thread>
 #include <vector>
 
 #include "engine/sld_service.hpp"
+#include "obs/export.hpp"
 #include "parallel/random.hpp"
 
 using namespace dynsld;
 using namespace dynsld::engine;
 using namespace std::chrono_literals;
 
-int main() {
+int main(int argc, char** argv) {
+  bool metrics = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--metrics") == 0) metrics = true;
   const vertex_id n = 1000;
   ServiceConfig cfg;
   cfg.num_vertices = n;
@@ -124,5 +132,12 @@ int main() {
         (unsigned long long)std::get<uint64_t>(r.results[2]));
   }
   print_report(svc.stats());
+  // --metrics: the whole observability surface in one scrape — every
+  // EngineStats counter, the live gauges, and the flush/broker latency
+  // histograms (p50/p90/p99 in ns). Stderr, so piping stdout stays
+  // clean.
+  if (metrics)
+    std::fprintf(stderr, "%s\n",
+                 obs::to_json(svc.obs().registry.scrape()).c_str());
   return 0;
 }

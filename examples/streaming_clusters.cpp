@@ -18,20 +18,27 @@
 // erases expired ones, flushes, then reports the cluster structure at a
 // fixed distance threshold.
 //
-//   $ ./streaming_clusters
+//   $ ./streaming_clusters             # the census table
+//   $ ./streaming_clusters --metrics   # plus the registry scrape as
+//                                      # JSON on stderr
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <deque>
 #include <future>
 #include <vector>
 
 #include "engine/sld_service.hpp"
+#include "obs/export.hpp"
 #include "parallel/random.hpp"
 
 using namespace dynsld;
 using namespace dynsld::engine;
 
-int main() {
+int main(int argc, char** argv) {
+  bool metrics = false;
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--metrics") == 0) metrics = true;
   const int window = 120;         // live points
   const int steps = 12;           // window slides
   const int per_step = 30;        // points replaced per slide
@@ -128,5 +135,10 @@ int main() {
   auto members = svc.cluster_report(probe.id, tau);
   std::printf("\ncluster of newest point %u at tau=%.2f: %zu members\n",
               probe.id, tau, members.size());
+  // --metrics: one scrape of the engine's registry — per-slide flush
+  // stage latencies and the broker's fulfillment histogram included.
+  if (metrics)
+    std::fprintf(stderr, "%s\n",
+                 obs::to_json(svc.obs().registry.scrape()).c_str());
   return 0;
 }

@@ -20,11 +20,24 @@ void store_max(std::atomic<uint64_t>& a, uint64_t e) {
   }
 }
 
+/// Elapsed ns between two steady_clock points (0 when not after).
+uint64_t elapsed_ns(std::chrono::steady_clock::time_point from,
+                    std::chrono::steady_clock::time_point to) {
+  if (to <= from) return 0;
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(to - from)
+          .count());
+}
+
 }  // namespace
 
 QueryBroker::QueryBroker(const EpochManager& epochs, SubscriptionHub& hub,
-                         std::shared_ptr<EngineStats> stats, Options opt)
-    : epochs_(epochs), hub_(hub), stats_(std::move(stats)), opt_(opt) {
+                         std::shared_ptr<EngineObs> obs, Options opt)
+    : epochs_(epochs),
+      hub_(hub),
+      obs_(std::move(obs)),
+      stats_(EngineObs::stats_handle(obs_)),
+      opt_(opt) {
   if (opt_.queue_depth == 0) opt_.queue_depth = 1;
   last_epoch_ = epochs_.cur_epoch();
   // System subscription: publishes wake the dispatcher (AtLeastEpoch
@@ -72,6 +85,11 @@ void QueryBroker::finish_error(Request* r, QueryErrorCode code) {
 }
 
 void QueryBroker::finish_ok(Request* r) {
+  // End-to-end request latency: admission to fulfillment (the number a
+  // client would measure around submit()...get()).
+  if (obs_)
+    obs_->broker_fulfill->record(
+        elapsed_ns(r->submitted, std::chrono::steady_clock::now()));
   depth_.fetch_sub(1, std::memory_order_acq_rel);
   r->promise.set_value(std::move(r->out));
   delete r;
@@ -97,7 +115,8 @@ std::future<ResultSet> QueryBroker::prepare(QueryRequest&& req, bool stopped,
       stats_->broker_cancelled.fetch_add(1, std::memory_order_relaxed);
     return error_future(QueryErrorCode::kCancelled);
   }
-  if (std::chrono::steady_clock::now() >= req.deadline) {
+  const auto now = std::chrono::steady_clock::now();
+  if (now >= req.deadline) {
     if (stats_)
       stats_->broker_deadline_expired.fetch_add(1, std::memory_order_relaxed);
     return error_future(QueryErrorCode::kDeadlineExceeded);
@@ -132,6 +151,7 @@ std::future<ResultSet> QueryBroker::prepare(QueryRequest&& req, bool stopped,
 
   Request* r = new Request;
   r->req = std::move(req);
+  r->submitted = now;
   std::future<ResultSet> fut = r->promise.get_future();
   if (stats_) {
     stats_->broker_submits.fetch_add(1, std::memory_order_relaxed);
@@ -243,6 +263,15 @@ void QueryBroker::dispatch_cycle() {
   last_epoch_ = cur->epoch();
   ++cycle_;  // standing-cache age tick
   const auto now = std::chrono::steady_clock::now();
+  obs::ScopedSpan cycle_span(obs_ ? &obs_->trace : nullptr, "broker.cycle",
+                             cycle_, obs_ ? obs_->broker_cycle : nullptr);
+
+  // Intake wait: admission to dispatch pickup, for the freshly drained
+  // requests (ready holds exactly those at this point).
+  if (obs_) {
+    for (Request* r : ready)
+      obs_->broker_intake_wait->record(elapsed_ns(r->submitted, now));
+  }
 
   // Unpark AtLeastEpoch waiters the epoch (or their deadline/token)
   // released; the classify pass below sorts out which is which.
@@ -252,10 +281,12 @@ void QueryBroker::dispatch_cycle() {
     for (Request* r : parked_) {
       const auto* ae = std::get_if<AtLeastEpoch>(&r->req.consistency);
       bool satisfied = !ae || cur->epoch() >= ae->epoch;
-      if (satisfied || r->req.cancel.cancelled() || now >= r->req.deadline)
+      if (satisfied || r->req.cancel.cancelled() || now >= r->req.deadline) {
+        if (obs_) obs_->broker_park->record(elapsed_ns(r->parked_at, now));
         ready.push_back(r);
-      else
+      } else {
         still.push_back(r);
+      }
     }
     parked_.swap(still);
   }
@@ -281,6 +312,7 @@ void QueryBroker::dispatch_cycle() {
     EpochManager::Snap snap = cur;
     if (const auto* ae = std::get_if<AtLeastEpoch>(&r->req.consistency)) {
       if (cur->epoch() < ae->epoch) {  // fresh arrival, epoch not there yet
+        r->parked_at = now;
         parked_.push_back(r);
         if (stats_)
           stats_->broker_epoch_waits.fetch_add(1, std::memory_order_relaxed);
@@ -350,9 +382,17 @@ void QueryBroker::dispatch_cycle() {
         0, groups.size(),
         [&](size_t gi) {
           Group& g = groups[gi];
-          g.view = g.prev
-                       ? ThresholdView::refreshed(g.prev, g.snap)
-                       : std::make_shared<const ThresholdView>(g.snap, g.tau);
+          {
+            // Resolve-only span: the shared (epoch, tau) view cost,
+            // excluding the per-query execution fan-out below.
+            obs::ScopedSpan resolve_span(obs_ ? &obs_->trace : nullptr,
+                                         "broker.resolve", cycle_,
+                                         obs_ ? obs_->broker_resolve
+                                              : nullptr);
+            g.view = g.prev ? ThresholdView::refreshed(g.prev, g.snap)
+                            : std::make_shared<const ThresholdView>(g.snap,
+                                                                    g.tau);
+          }
           par::parallel_for(
               0, g.items.size(),
               [&](size_t j) {

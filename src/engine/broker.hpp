@@ -87,9 +87,12 @@ class QueryBroker {
 
   /// Starts the dispatcher thread and registers with `hub` as a system
   /// subscriber (publishes wake the dispatcher; AtLeastEpoch waiters
-  /// unpark). `epochs` and `hub` must outlive the broker.
+  /// unpark). `epochs` and `hub` must outlive the broker. `obs` (the
+  /// owning service's observability bundle, nullable in unit contexts)
+  /// receives the request-lifecycle histograms — intake wait, park
+  /// time, per-group resolve, submit-to-fulfill — and dispatch spans.
   QueryBroker(const EpochManager& epochs, SubscriptionHub& hub,
-              std::shared_ptr<EngineStats> stats, Options opt);
+              std::shared_ptr<EngineObs> obs, Options opt);
   /// Implies shutdown(): all in-flight futures resolve.
   ~QueryBroker();
 
@@ -129,6 +132,11 @@ class QueryBroker {
     // decrements this to zero fulfills the promise.
     std::atomic<uint32_t> groups_left{0};
     Request* next = nullptr;  // intake chain link
+    // Lifecycle stamps (obs histograms): admission time — the base of
+    // intake-wait and submit-to-fulfill — and, for AtLeastEpoch
+    // waiters, when the dispatcher parked it.
+    std::chrono::steady_clock::time_point submitted{};
+    std::chrono::steady_clock::time_point parked_at{};
   };
 
   /// One cross-client (snapshot, tau) execution unit of a cycle.
@@ -169,6 +177,8 @@ class QueryBroker {
 
   const EpochManager& epochs_;
   SubscriptionHub& hub_;
+  std::shared_ptr<EngineObs> obs_;
+  // Aliasing handle on obs_->stats, so counter bumps stay one `->`.
   std::shared_ptr<EngineStats> stats_;
   Options opt_;
   SubscriptionHub::Token hub_token_ = 0;

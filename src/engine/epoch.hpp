@@ -143,6 +143,11 @@ class EngineSnapshot {
   /// What this epoch changed relative to the one it was built from
   /// (per-shard rebuild flags + cross-edge churn).
   const EpochDelta& delta() const { return delta_; }
+  /// Stage breakdown of the flush that built this epoch — what the
+  /// epoch you are reading cost to produce (drain/apply/shard-rebuild/
+  /// cross timings; obs/trace.hpp). Zero-filled for snapshots built
+  /// outside a service flush (the epoch-0 initial build).
+  const obs::EpochTrace& trace() const { return trace_; }
   /// Dendrogram nodes across the shard snapshots — intra-shard forest
   /// edges only; cross-table edges are raw and counted by cross().
   size_t num_tree_edges() const;
@@ -166,6 +171,12 @@ class EngineSnapshot {
   /// null in unit contexts); views bump their counters through it.
   const std::shared_ptr<EngineStats>& stats() const { return stats_; }
 
+  /// The publishing engine's full observability bundle (registry,
+  /// trace ring, histograms) — null in unit contexts. Shared ownership:
+  /// a reader holding the snapshot keeps the scrape surface alive even
+  /// past the service, exactly like stats().
+  const std::shared_ptr<EngineObs>& obs() const { return obs_; }
+
  private:
   friend class ShardRouter;
   EngineSnapshot() = default;
@@ -175,10 +186,12 @@ class EngineSnapshot {
   std::vector<std::shared_ptr<const DendrogramSnapshot>> shards_;
   std::shared_ptr<const CrossEdgeView> cross_;
   EpochDelta delta_;
+  obs::EpochTrace trace_;
   std::vector<WeightedEdge> edges_;
   // Query accounting: shared with the publishing service so counting
   // stays safe even for readers that outlive it.
   std::shared_ptr<EngineStats> stats_;
+  std::shared_ptr<EngineObs> obs_;
 };
 
 /// Publication point between the writer and the readers.

@@ -8,8 +8,10 @@
 namespace dynsld::engine {
 
 ShardRouter::ShardRouter(vertex_id n, int num_shards, SpineIndex index,
-                         std::shared_ptr<EngineStats> stats)
-    : map_(ShardMap::make(n, num_shards)), stats_(std::move(stats)) {
+                         std::shared_ptr<EngineObs> obs)
+    : map_(ShardMap::make(n, num_shards)),
+      obs_(std::move(obs)),
+      stats_(EngineObs::stats_handle(obs_)) {
   shards_.reserve(map_.num_shards);
   for (int k = 0; k < map_.num_shards; ++k) {
     // Shard-local vertex space: size each clustering to the shard's own
@@ -105,13 +107,16 @@ void ShardRouter::apply(const MutationQueue::Drained& batch) {
 }
 
 std::shared_ptr<const EngineSnapshot> ShardRouter::build_snapshot(
-    uint64_t epoch, const EngineSnapshot* prev, bool capture_edges) {
+    uint64_t epoch, const EngineSnapshot* prev, bool capture_edges,
+    obs::EpochTrace seed) {
   auto t0 = std::chrono::steady_clock::now();
   auto snap = std::shared_ptr<EngineSnapshot>(new EngineSnapshot());
   snap->epoch_ = epoch;
   snap->map_ = map_;
   snap->stats_ = stats_;
+  snap->obs_ = obs_;
   snap->shards_.resize(shards_.size());
+  obs::TraceRing* ring = obs_ ? &obs_->trace : nullptr;
 
   // Record the delta before the dirty flags are consumed below. The
   // initial build (no prev) marks everything rebuilt and is its own
@@ -133,23 +138,36 @@ std::shared_ptr<const EngineSnapshot> ShardRouter::build_snapshot(
   delta_cross_min_w_ = std::numeric_limits<double>::infinity();
 
   uint64_t built = 0, reused = 0;
-  par::parallel_for(
-      0, shards_.size(),
-      [&](size_t k) {
-        if (prev && !dirty_[k]) {
-          snap->shards_[k] = prev->shards_[k];
-        } else {
-          snap->shards_[k] = DendrogramSnapshot::build(
-              shards_[k]->sld(), map_.base(static_cast<int>(k)));
-        }
-      },
-      /*grain=*/1);
+  {
+    // The stage span covers all rebuilds of the epoch; each rebuilt
+    // shard additionally records its own build into flush.shard_build
+    // from inside the parallel loop (per-thread histogram shards make
+    // that wait-free even when every worker lands at once).
+    obs::ScopedSpan shards_span(ring, "flush.shards", epoch,
+                                obs_ ? obs_->flush_shards : nullptr);
+    par::parallel_for(
+        0, shards_.size(),
+        [&](size_t k) {
+          if (prev && !dirty_[k]) {
+            snap->shards_[k] = prev->shards_[k];
+          } else {
+            uint64_t b0 = obs::now_ns();
+            snap->shards_[k] = DendrogramSnapshot::build(
+                shards_[k]->sld(), map_.base(static_cast<int>(k)));
+            if (obs_) obs_->flush_shard_build->record(obs::now_ns() - b0);
+          }
+        },
+        /*grain=*/1);
+    seed.shards_ns = shards_span.stop();
+  }
   for (size_t k = 0; k < shards_.size(); ++k) {
     (prev && !dirty_[k]) ? ++reused : ++built;
     dirty_[k] = 0;
   }
 
   if (cross_dirty_ || !prev) {
+    obs::ScopedSpan cross_span(ring, "flush.cross", epoch,
+                               obs_ ? obs_->flush_cross : nullptr);
     std::vector<CrossEdgeView::Edge> alive;
     alive.reserve(cross_alive_);
     for (const CrossSlot& s : cross_) {
@@ -157,8 +175,13 @@ std::shared_ptr<const EngineSnapshot> ShardRouter::build_snapshot(
     }
     cross_view_ = std::make_shared<CrossEdgeView>(std::move(alive));
     cross_dirty_ = false;
+    seed.cross_ns = cross_span.stop();
   }
   snap->cross_ = cross_view_;
+
+  seed.epoch = epoch;
+  seed.shards_rebuilt = static_cast<int>(built);
+  snap->trace_ = seed;
 
   if (capture_edges) {
     for (size_t k = 0; k < shards_.size(); ++k) {

@@ -42,8 +42,11 @@ namespace dynsld::engine {
 class ShardRouter {
  public:
   /// Stand up `num_shards` empty per-shard clusterings over n vertices.
+  /// `obs` (nullable in unit contexts) is the owning service's
+  /// observability bundle: counters are bumped through its stats block
+  /// and snapshot builds record stage timings into its histograms.
   ShardRouter(vertex_id n, int num_shards, SpineIndex index,
-              std::shared_ptr<EngineStats> stats);
+              std::shared_ptr<EngineObs> obs);
 
   const ShardMap& shard_map() const { return map_; }
   int num_shards() const { return map_.num_shards; }
@@ -58,10 +61,14 @@ class ShardRouter {
   /// additionally copies the full alive edge set into the snapshot for
   /// reference verification. The snapshot carries an EpochDelta (shard
   /// rebuild flags + cross-edge churn accumulated since the previous
-  /// build) for subscription refreshes. Clears the dirty flags and
-  /// delta accumulators.
+  /// build) for subscription refreshes, and an EpochTrace: the caller
+  /// seeds the pre-build stages (drain/apply) in `seed`, the router
+  /// fills the shard-rebuild and cross-rebuild stages and freezes the
+  /// whole record into the snapshot. Clears the dirty flags and delta
+  /// accumulators.
   std::shared_ptr<const EngineSnapshot> build_snapshot(
-      uint64_t epoch, const EngineSnapshot* prev, bool capture_edges);
+      uint64_t epoch, const EngineSnapshot* prev, bool capture_edges,
+      obs::EpochTrace seed = {});
 
  private:
   struct Loc {
@@ -99,6 +106,8 @@ class ShardRouter {
   double delta_cross_min_w_ = std::numeric_limits<double>::infinity();
   std::shared_ptr<const CrossEdgeView> cross_view_;
   std::vector<Loc> locs_;  // by ticket
+  std::shared_ptr<EngineObs> obs_;
+  // Aliasing handle on obs_->stats, so counter bumps stay one `->`.
   std::shared_ptr<EngineStats> stats_;
 };
 

@@ -6,13 +6,26 @@ namespace dynsld::engine {
 
 SldService::SldService(const ServiceConfig& cfg)
     : cfg_(cfg),
-      stats_(std::make_shared<EngineStats>()),
+      obs_(std::make_shared<EngineObs>()),
+      stats_(EngineObs::stats_handle(obs_)),
       queue_(stats_.get()),
-      router_(cfg.num_vertices, cfg.num_shards, cfg.index, stats_) {
+      router_(cfg.num_vertices, cfg.num_shards, cfg.index, obs_) {
+  // Live gauges: point-in-time reads of the running service, cleared in
+  // the destructor (the registry itself may outlive us via snapshots).
+  obs_->registry.add_gauge("engine.epoch", [this] { return epoch(); });
+  obs_->registry.add_gauge("engine.pending_updates", [this] {
+    return static_cast<uint64_t>(pending_updates());
+  });
+  obs_->registry.add_gauge("broker.depth", [this] {
+    return static_cast<uint64_t>(broker_ ? broker_->depth() : 0);
+  });
+  obs_->registry.add_gauge("engine.subscribers", [this] {
+    return static_cast<uint64_t>(subs_.size());
+  });
   // Epoch 0: the empty snapshot, so readers never see a null view.
   epochs_.publish(router_.build_snapshot(0, nullptr, cfg_.capture_edges));
   broker_ = std::make_unique<QueryBroker>(
-      epochs_, subs_, stats_,
+      epochs_, subs_, obs_,
       QueryBroker::Options{cfg_.broker_queue_depth, cfg_.broker_interval});
 }
 
@@ -22,6 +35,15 @@ SldService::~SldService() {
   // shutdown flush publishes.
   broker_->shutdown();
   stop_writer();
+  // The bundle outlives us through snapshots; the gauges do not.
+  obs_->registry.clear_gauges();
+}
+
+std::unique_ptr<obs::StatsSink> SldService::make_stats_sink(
+    std::function<void(const std::string&)> emit,
+    obs::StatsSink::Options opt) const {
+  return std::make_unique<obs::StatsSink>(obs_->registry, std::move(emit),
+                                          opt);
 }
 
 void SldService::nudge_writer() {
@@ -56,22 +78,52 @@ uint64_t SldService::flush() {
   uint64_t e;
   {
     std::lock_guard<std::mutex> lk(flush_mu_);
+    // Spans are tagged with the epoch this flush will publish if the
+    // queue turns out non-empty (next_epoch_ is stable under the lock).
+    const uint64_t e_tag = next_epoch_;
+    obs::ScopedSpan total_span(&obs_->trace, "flush.total", e_tag,
+                               obs_->flush_total);
+    obs::ScopedSpan drain_span(&obs_->trace, "flush.drain", e_tag,
+                               obs_->flush_drain);
     MutationQueue::Drained batch = queue_.drain();
-    if (batch.empty()) return epochs_.cur_epoch();
+    if (batch.empty()) {
+      // Nothing flushed: no epoch, no spans (an idle-timer wakeup is
+      // not a pipeline stage).
+      drain_span.cancel();
+      total_span.cancel();
+      return epochs_.cur_epoch();
+    }
+    uint64_t drain_ns = drain_span.stop();
     stats_->flushes.fetch_add(1, std::memory_order_relaxed);
     stats_->ops_applied.fetch_add(batch.size(), std::memory_order_relaxed);
     stats_->bump_max_batch(batch.size());
+    obs::ScopedSpan apply_span(&obs_->trace, "flush.apply", e_tag,
+                               obs_->flush_apply);
     router_.apply(batch);
+    uint64_t apply_ns = apply_span.stop();
     EpochManager::Snap prev = epochs_.acquire();  // keep alive through build
     e = next_epoch_++;
-    published = router_.build_snapshot(e, prev.get(), cfg_.capture_edges);
+    // Seed the epoch's trace with the stages the service timed; the
+    // router fills the build stages and freezes it into the snapshot.
+    obs::EpochTrace seed;
+    seed.ops = batch.size();
+    seed.drain_ns = drain_ns;
+    seed.apply_ns = apply_ns;
+    published =
+        router_.build_snapshot(e, prev.get(), cfg_.capture_edges, seed);
+    obs::ScopedSpan publish_span(&obs_->trace, "flush.publish", e,
+                                 obs_->flush_publish);
     epochs_.publish(published);
+    publish_span.stop();
   }
   // Notify subscribers outside the flush lock so callbacks may read the
   // service (snapshot(), view(), even enqueue updates — not flush()).
   // Concurrent flushes can therefore notify out of order; subscribers
   // track the max pending epoch.
+  obs::ScopedSpan notify_span(&obs_->trace, "flush.notify", e,
+                              obs_->flush_notify);
   size_t fired = subs_.notify(published);
+  notify_span.stop();
   if (fired)
     stats_->subs_notified.fetch_add(fired, std::memory_order_relaxed);
   return e;

@@ -43,6 +43,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -57,6 +58,7 @@
 #include "engine/shard_router.hpp"
 #include "engine/stats.hpp"
 #include "engine/subscription.hpp"
+#include "obs/export.hpp"
 
 namespace dynsld::engine {
 
@@ -191,6 +193,22 @@ class SldService {
   const ServiceConfig& config() const { return cfg_; }
   EngineStats::Report stats() const { return stats_->report(); }
 
+  /// The engine's observability bundle: metric registry (every
+  /// EngineStats counter plus live gauges and the flush/broker latency
+  /// histograms — the one scrape surface), and the span trace ring.
+  /// Scrape with obs().registry.scrape() and render via obs/export.hpp,
+  /// or attach a periodic reporter with make_stats_sink(). Gauges read
+  /// the live service and are cleared on destruction; snapshots keep
+  /// the rest of the bundle alive for readers that outlive the service.
+  EngineObs& obs() const { return *obs_; }
+
+  /// Start a periodic reporter over this service's registry: scrapes
+  /// every `opt.interval` and hands the rendered text to `emit`
+  /// (obs/export.hpp). Destroy the sink before the service.
+  std::unique_ptr<obs::StatsSink> make_stats_sink(
+      std::function<void(const std::string&)> emit,
+      obs::StatsSink::Options opt = {}) const;
+
  private:
   void writer_loop();
   void nudge_writer();
@@ -199,7 +217,8 @@ class SldService {
   QueryResult run_one(Query q) const;
 
   ServiceConfig cfg_;
-  std::shared_ptr<EngineStats> stats_;
+  std::shared_ptr<EngineObs> obs_;
+  std::shared_ptr<EngineStats> stats_;  // aliases obs_->stats
   MutationQueue queue_;
   ShardRouter router_;  // guarded by flush_mu_
   EpochManager epochs_;

@@ -1,90 +1,110 @@
 // Engine observability: lock-free counters covering both front-ends
-// (update coalescing, batch flushes, epoch publication, query traffic).
-// Writers bump them with relaxed atomics on the hot paths; report()
-// takes a consistent-enough plain copy for printing. Counters are
-// cumulative over the service's lifetime.
+// (update coalescing, batch flushes, epoch publication, query traffic),
+// bundled with the metrics registry and trace ring into EngineObs — the
+// engine's one scrape surface.
+//
+// The counter set is defined ONCE, in the DYNSLD_ENGINE_COUNTERS
+// X-macro list below. The struct fields, the plain Report copy,
+// report()'s field-by-field load, the for_each() visitor that drives
+// registry registration and exposition names, and the coverage
+// static_assert are all generated from that single list — adding a
+// counter is one line, and it is impossible to add one that report()
+// or the scrape surface silently drops (the PR-5-era Report hand-copied
+// 44 fields positionally; one missed field compiled fine).
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <cstdio>
+#include <memory>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace dynsld::engine {
 
+/// The engine's counter list — the single source of truth for
+/// EngineStats' fields, Report, report(), for_each(), and the metric
+/// names the registry scrapes. X is applied to each counter name.
+#define DYNSLD_ENGINE_COUNTERS(X)                                         \
+  /* -- update front-end -- */                                            \
+  X(inserts_enqueued)                                                     \
+  X(erases_enqueued)                                                      \
+  X(coalesced_pairs)      /* insert+erase annihilated */                  \
+  X(duplicate_erases)     /* dropped in the queue */                      \
+  X(invalid_erases)       /* unknown/dead ticket at apply */              \
+  /* -- flush path -- */                                                  \
+  X(flushes)              /* non-empty batch applications */              \
+  X(ops_applied)                                                          \
+  X(max_batch)                                                            \
+  X(shard_batches)        /* per-shard sub-batches applied */             \
+  X(cross_ops)            /* ops landing in the cross table */            \
+  /* -- epochs -- */                                                      \
+  X(epochs_published)                                                     \
+  X(snapshot_build_ns)                                                    \
+  X(shard_snapshots_built)                                                \
+  X(shard_snapshots_reused)                                               \
+  /* -- query front-end -- */                                             \
+  X(q_same_cluster)                                                       \
+  X(q_cluster_size)                                                       \
+  X(q_cluster_report)                                                     \
+  X(q_flat_clustering)                                                    \
+  X(q_size_histogram)                                                     \
+  X(q_num_clusters)                                                       \
+  /* -- view plane -- */                                                  \
+  X(views_built)          /* ThresholdView resolutions */                 \
+  X(cross_uf_builds)      /* full cross-shard union-find builds */        \
+  X(batch_runs)           /* ClusterView::run calls */                    \
+  X(batch_queries)        /* queries executed via run() */                \
+  /* -- subscription plane -- */                                          \
+  X(subs_notified)        /* publish callbacks fired */                   \
+  X(sub_refreshes)        /* refresh() calls that advanced */             \
+  X(refresh_views_reused) /* resolution shared wholesale */               \
+  X(refresh_views_incremental) /* dirty shards re-topped */               \
+  X(refresh_views_full)   /* cross prefix changed: rebuilt */             \
+  X(refresh_shards_reused)   /* clean shards per refresh */               \
+  X(refresh_shards_rebuilt)  /* dirty shards per refresh */               \
+  X(cross_uf_incremental) /* incremental blob-UF re-resolves */           \
+  /* -- flat-label maintenance -- */                                      \
+  X(labels_rebuilt)       /* global label materializations */             \
+  X(labels_patched)       /* prev labels copied + patched */              \
+  X(labels_reused)        /* prev LabelSet adopted wholesale */           \
+  /* -- broker (async request plane) -- */                                \
+  X(broker_submits)       /* requests accepted at intake */               \
+  X(broker_batches)       /* dispatch cycles with groups */               \
+  X(broker_groups)        /* (epoch, tau) groups resolved */              \
+  X(broker_group_requests) /* per-group distinct requests */              \
+  X(broker_epoch_waits)   /* AtLeastEpoch requests parked */              \
+  X(broker_admission_rejects) /* intake over queue depth */               \
+  X(broker_deadline_expired)  /* expired, never executed */               \
+  X(broker_cancelled)         /* cancelled while queued */                \
+  X(broker_shutdown_aborted)  /* resolved at shutdown */                  \
+  X(broker_max_depth)         /* queue-depth high-water */
+
 /// The engine's counter block (shared by the service, its snapshots
 /// and the views built over them). Thread-safe: all counters are
-/// relaxed atomics bumped from hot paths.
+/// relaxed atomics bumped from hot paths. Fields are generated from
+/// DYNSLD_ENGINE_COUNTERS — see that list for per-counter meanings.
 struct EngineStats {
-  // -- update front-end --
-  std::atomic<uint64_t> inserts_enqueued{0};
-  std::atomic<uint64_t> erases_enqueued{0};
-  std::atomic<uint64_t> coalesced_pairs{0};      // insert+erase annihilated
-  std::atomic<uint64_t> duplicate_erases{0};     // dropped in the queue
-  std::atomic<uint64_t> invalid_erases{0};       // unknown/dead ticket at apply
-  // -- flush path --
-  std::atomic<uint64_t> flushes{0};              // non-empty batch applications
-  std::atomic<uint64_t> ops_applied{0};
-  std::atomic<uint64_t> max_batch{0};
-  std::atomic<uint64_t> shard_batches{0};        // per-shard sub-batches applied
-  std::atomic<uint64_t> cross_ops{0};            // ops landing in the cross table
-  // -- epochs --
-  std::atomic<uint64_t> epochs_published{0};
-  std::atomic<uint64_t> snapshot_build_ns{0};
-  std::atomic<uint64_t> shard_snapshots_built{0};
-  std::atomic<uint64_t> shard_snapshots_reused{0};
-  // -- query front-end --
-  std::atomic<uint64_t> q_same_cluster{0};
-  std::atomic<uint64_t> q_cluster_size{0};
-  std::atomic<uint64_t> q_cluster_report{0};
-  std::atomic<uint64_t> q_flat_clustering{0};
-  std::atomic<uint64_t> q_size_histogram{0};
-  std::atomic<uint64_t> q_num_clusters{0};
-  // -- view plane --
-  std::atomic<uint64_t> views_built{0};       // ThresholdView resolutions
-  std::atomic<uint64_t> cross_uf_builds{0};   // full cross-shard union-find builds
-  std::atomic<uint64_t> batch_runs{0};        // ClusterView::run calls
-  std::atomic<uint64_t> batch_queries{0};     // queries executed via run()
-  // -- subscription plane --
-  std::atomic<uint64_t> subs_notified{0};         // publish callbacks fired
-  std::atomic<uint64_t> sub_refreshes{0};         // refresh() calls that advanced
-  std::atomic<uint64_t> refresh_views_reused{0};  // resolution shared wholesale
-  std::atomic<uint64_t> refresh_views_incremental{0};  // dirty shards re-topped
-  std::atomic<uint64_t> refresh_views_full{0};    // cross prefix changed: rebuilt
-  std::atomic<uint64_t> refresh_shards_reused{0};    // clean shards per refresh
-  std::atomic<uint64_t> refresh_shards_rebuilt{0};   // dirty shards per refresh
-  std::atomic<uint64_t> cross_uf_incremental{0};  // incremental blob-UF re-resolves
-  // -- flat-label maintenance --
-  std::atomic<uint64_t> labels_rebuilt{0};  // global label materializations
-  std::atomic<uint64_t> labels_patched{0};  // prev labels copied + patched
-  std::atomic<uint64_t> labels_reused{0};   // prev LabelSet adopted wholesale
-  // -- broker (async request plane) --
-  std::atomic<uint64_t> broker_submits{0};        // requests accepted at intake
-  std::atomic<uint64_t> broker_batches{0};        // dispatch cycles with groups
-  std::atomic<uint64_t> broker_groups{0};         // (epoch, tau) groups resolved
-  std::atomic<uint64_t> broker_group_requests{0};  // per-group distinct requests
-  std::atomic<uint64_t> broker_epoch_waits{0};    // AtLeastEpoch requests parked
-  std::atomic<uint64_t> broker_admission_rejects{0};  // intake over queue depth
-  std::atomic<uint64_t> broker_deadline_expired{0};   // expired, never executed
-  std::atomic<uint64_t> broker_cancelled{0};          // cancelled while queued
-  std::atomic<uint64_t> broker_shutdown_aborted{0};   // resolved at shutdown
-  std::atomic<uint64_t> broker_max_depth{0};          // queue-depth high-water
+#define DYNSLD_STATS_FIELD(name) std::atomic<uint64_t> name{0};
+  DYNSLD_ENGINE_COUNTERS(DYNSLD_STATS_FIELD)
+#undef DYNSLD_STATS_FIELD
 
-  /// A plain (non-atomic) copy of every counter, for printing and
-  /// test assertions.
+  /// Number of counters in the block (generated; the coverage
+  /// static_assert below keeps it honest).
+  static constexpr size_t kNumCounters = 0
+#define DYNSLD_STATS_PLUS1(name) +1
+      DYNSLD_ENGINE_COUNTERS(DYNSLD_STATS_PLUS1)
+#undef DYNSLD_STATS_PLUS1
+      ;
+
+  /// A plain (non-atomic) copy of every counter, for printing and test
+  /// assertions. Fields mirror EngineStats one-for-one by generation,
+  /// so a counter cannot exist without its Report field.
   struct Report {
-    uint64_t inserts_enqueued, erases_enqueued, coalesced_pairs,
-        duplicate_erases, invalid_erases, flushes, ops_applied, max_batch,
-        shard_batches, cross_ops, epochs_published, snapshot_build_ns,
-        shard_snapshots_built, shard_snapshots_reused, q_same_cluster,
-        q_cluster_size, q_cluster_report, q_flat_clustering, q_size_histogram,
-        q_num_clusters, views_built, cross_uf_builds, batch_runs,
-        batch_queries, subs_notified, sub_refreshes, refresh_views_reused,
-        refresh_views_incremental, refresh_views_full, refresh_shards_reused,
-        refresh_shards_rebuilt, cross_uf_incremental, labels_rebuilt,
-        labels_patched, labels_reused, broker_submits, broker_batches,
-        broker_groups, broker_group_requests, broker_epoch_waits,
-        broker_admission_rejects, broker_deadline_expired, broker_cancelled,
-        broker_shutdown_aborted, broker_max_depth;
+#define DYNSLD_STATS_FIELD(name) uint64_t name;
+    DYNSLD_ENGINE_COUNTERS(DYNSLD_STATS_FIELD)
+#undef DYNSLD_STATS_FIELD
 
     uint64_t queries() const {
       return q_same_cluster + q_cluster_size + q_cluster_report +
@@ -102,28 +122,24 @@ struct EngineStats {
     }
   };
 
+  /// Relaxed copy of every counter (generated field-by-field — no
+  /// positional hand-copy to drift).
   Report report() const {
-    auto r = [](const std::atomic<uint64_t>& a) {
-      return a.load(std::memory_order_relaxed);
-    };
-    return Report{r(inserts_enqueued), r(erases_enqueued), r(coalesced_pairs),
-                  r(duplicate_erases), r(invalid_erases), r(flushes),
-                  r(ops_applied), r(max_batch), r(shard_batches), r(cross_ops),
-                  r(epochs_published), r(snapshot_build_ns),
-                  r(shard_snapshots_built), r(shard_snapshots_reused),
-                  r(q_same_cluster), r(q_cluster_size), r(q_cluster_report),
-                  r(q_flat_clustering), r(q_size_histogram), r(q_num_clusters),
-                  r(views_built), r(cross_uf_builds), r(batch_runs),
-                  r(batch_queries), r(subs_notified), r(sub_refreshes),
-                  r(refresh_views_reused), r(refresh_views_incremental),
-                  r(refresh_views_full), r(refresh_shards_reused),
-                  r(refresh_shards_rebuilt), r(cross_uf_incremental),
-                  r(labels_rebuilt), r(labels_patched), r(labels_reused),
-                  r(broker_submits), r(broker_batches), r(broker_groups),
-                  r(broker_group_requests), r(broker_epoch_waits),
-                  r(broker_admission_rejects), r(broker_deadline_expired),
-                  r(broker_cancelled), r(broker_shutdown_aborted),
-                  r(broker_max_depth)};
+    Report rep;
+#define DYNSLD_STATS_LOAD(name) \
+  rep.name = name.load(std::memory_order_relaxed);
+    DYNSLD_ENGINE_COUNTERS(DYNSLD_STATS_LOAD)
+#undef DYNSLD_STATS_LOAD
+    return rep;
+  }
+
+  /// Visit every counter as ("name", atomic&) — drives registry
+  /// registration, exposition, and the coverage tests.
+  template <class F>
+  void for_each(F&& f) const {
+#define DYNSLD_STATS_VISIT(name) f(#name, name);
+    DYNSLD_ENGINE_COUNTERS(DYNSLD_STATS_VISIT)
+#undef DYNSLD_STATS_VISIT
   }
 
   /// Raise a monotone high-water counter to at least `v`.
@@ -135,6 +151,81 @@ struct EngineStats {
   }
 
   void bump_max_batch(uint64_t sz) { bump_max(max_batch, sz); }
+};
+
+// Coverage guard: every atomic in EngineStats must come from the
+// X-macro list. A field added by hand (outside DYNSLD_ENGINE_COUNTERS)
+// changes sizeof and fails here instead of silently missing from
+// report() and the scrape surface.
+static_assert(sizeof(EngineStats) ==
+                  EngineStats::kNumCounters * sizeof(std::atomic<uint64_t>),
+              "EngineStats field added outside DYNSLD_ENGINE_COUNTERS");
+// Same guard for the plain snapshot: Report must mirror the macro list
+// field-for-field so the generated loads stay in sync.
+static_assert(sizeof(EngineStats::Report) ==
+                  EngineStats::kNumCounters * sizeof(uint64_t),
+              "EngineStats::Report drifted from DYNSLD_ENGINE_COUNTERS");
+
+/// The engine's full observability bundle: the counter block, the
+/// metric registry it is registered into (one scrape surface), the
+/// span trace ring, and the pre-registered latency histograms the hot
+/// paths record into. Owned by SldService via shared_ptr; snapshots
+/// alias the stats member so readers outliving the service stay safe.
+///
+/// Histogram units are nanoseconds; the catalog with meanings lives in
+/// docs/OBSERVABILITY.md.
+struct EngineObs {
+  EngineStats stats;
+  obs::MetricRegistry registry;
+  obs::TraceRing trace;
+
+  // -- flush pipeline stages (recorded per flush / per shard) --
+  obs::LatencyHistogram* flush_drain;
+  obs::LatencyHistogram* flush_apply;
+  obs::LatencyHistogram* flush_shard_build;  // one record per rebuilt shard
+  obs::LatencyHistogram* flush_shards;       // all rebuilds of one epoch
+  obs::LatencyHistogram* flush_cross;
+  obs::LatencyHistogram* flush_publish;
+  obs::LatencyHistogram* flush_notify;
+  obs::LatencyHistogram* flush_total;
+  // -- broker request lifecycle --
+  obs::LatencyHistogram* broker_intake_wait;  // submit -> dispatch pickup
+  obs::LatencyHistogram* broker_park;         // parked (AtLeastEpoch) time
+  obs::LatencyHistogram* broker_resolve;      // per-group view resolution
+  obs::LatencyHistogram* broker_fulfill;      // submit -> future fulfilled
+  obs::LatencyHistogram* broker_cycle;        // whole dispatch cycle
+  // -- subscription plane --
+  obs::LatencyHistogram* sub_refresh;         // SubscribedView::refresh()
+
+  /// Registers every EngineStats counter under "engine.<name>" and
+  /// creates the histogram set. Gauges tied to a live service
+  /// (epoch, queue depths) are added by SldService at construction.
+  EngineObs() {
+    stats.for_each([this](const char* name, const std::atomic<uint64_t>& c) {
+      registry.add_counter(std::string("engine.") + name, &c);
+    });
+    flush_drain = registry.add_histogram("flush.drain");
+    flush_apply = registry.add_histogram("flush.apply");
+    flush_shard_build = registry.add_histogram("flush.shard_build");
+    flush_shards = registry.add_histogram("flush.shards");
+    flush_cross = registry.add_histogram("flush.cross");
+    flush_publish = registry.add_histogram("flush.publish");
+    flush_notify = registry.add_histogram("flush.notify");
+    flush_total = registry.add_histogram("flush.total");
+    broker_intake_wait = registry.add_histogram("broker.intake_wait");
+    broker_park = registry.add_histogram("broker.park");
+    broker_resolve = registry.add_histogram("broker.resolve");
+    broker_fulfill = registry.add_histogram("broker.fulfill");
+    broker_cycle = registry.add_histogram("broker.cycle");
+    sub_refresh = registry.add_histogram("sub.refresh");
+  }
+
+  /// Aliasing handle on the stats member: shares the bundle's lifetime,
+  /// so a snapshot holding it keeps the whole bundle alive.
+  static std::shared_ptr<EngineStats> stats_handle(
+      const std::shared_ptr<EngineObs>& obs) {
+    return obs ? std::shared_ptr<EngineStats>(obs, &obs->stats) : nullptr;
+  }
 };
 
 inline void print_report(const EngineStats::Report& r, std::FILE* out = stdout) {

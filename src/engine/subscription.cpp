@@ -50,6 +50,7 @@ bool SubscribedView::refresh() {
   // advanced us past the snapshot acquired above — never move a
   // subscription backwards in epochs.
   if (snap->epoch() <= snap_->epoch()) return false;
+  uint64_t t0 = obs::now_ns();
   for (auto& [tau, view] : views_) {
     (void)tau;
     // refreshed() carries the merge resolution across incrementally
@@ -61,6 +62,7 @@ bool SubscribedView::refresh() {
   snap_ = std::move(snap);
   const auto& stats = snap_->stats();
   if (stats) stats->sub_refreshes.fetch_add(1, std::memory_order_relaxed);
+  if (snap_->obs()) snap_->obs()->sub_refresh->record(obs::now_ns() - t0);
   return true;
 }
 

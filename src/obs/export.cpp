@@ -1,0 +1,180 @@
+#include "obs/export.hpp"
+
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+
+namespace dynsld::obs {
+
+namespace {
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  out += '"';
+}
+
+void append_u64(std::string& out, uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+  out += buf;
+}
+
+void append_double(std::string& out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.1f", v);
+  out += buf;
+}
+
+void append_samples(std::string& out, const char* key,
+                    const std::vector<MetricsSnapshot::Sample>& samples) {
+  out += '"';
+  out += key;
+  out += "\": {";
+  bool first = true;
+  for (const auto& s : samples) {
+    if (!first) out += ", ";
+    first = false;
+    append_escaped(out, s.name);
+    out += ": ";
+    append_u64(out, s.value);
+  }
+  out += '}';
+}
+
+std::string sanitize(const std::string& name) {
+  std::string out = "dynsld_";
+  for (char c : name)
+    out += std::isalnum(static_cast<unsigned char>(c)) ? c : '_';
+  return out;
+}
+
+}  // namespace
+
+std::string to_json(const MetricsSnapshot& m) {
+  std::string out = "{";
+  append_samples(out, "counters", m.counters);
+  out += ", ";
+  append_samples(out, "gauges", m.gauges);
+  out += ", \"histograms\": {";
+  bool first = true;
+  for (const auto& h : m.histograms) {
+    if (!first) out += ", ";
+    first = false;
+    append_escaped(out, h.name);
+    out += ": {\"count\": ";
+    append_u64(out, h.h.count);
+    out += ", \"sum_ns\": ";
+    append_u64(out, h.h.sum);
+    out += ", \"max_ns\": ";
+    append_u64(out, h.h.max);
+    out += ", \"mean_ns\": ";
+    append_double(out, h.h.mean());
+    out += ", \"p50_ns\": ";
+    append_double(out, h.h.p50());
+    out += ", \"p90_ns\": ";
+    append_double(out, h.h.p90());
+    out += ", \"p99_ns\": ";
+    append_double(out, h.h.p99());
+    out += ", \"buckets\": [";
+    bool bfirst = true;
+    for (const auto& [idx, c] : h.h.buckets) {
+      if (!bfirst) out += ", ";
+      bfirst = false;
+      out += '[';
+      append_u64(out, LatencyHistogram::bucket_upper(idx));
+      out += ", ";
+      append_u64(out, c);
+      out += ']';
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+std::string to_prometheus(const MetricsSnapshot& m) {
+  std::string out;
+  for (const auto& s : m.counters) {
+    std::string n = sanitize(s.name);
+    out += "# TYPE " + n + " counter\n" + n + " ";
+    append_u64(out, s.value);
+    out += '\n';
+  }
+  for (const auto& s : m.gauges) {
+    std::string n = sanitize(s.name);
+    out += "# TYPE " + n + " gauge\n" + n + " ";
+    append_u64(out, s.value);
+    out += '\n';
+  }
+  for (const auto& h : m.histograms) {
+    std::string n = sanitize(h.name);
+    out += "# HELP " + n + " latency histogram (nanoseconds)\n";
+    out += "# TYPE " + n + " histogram\n";
+    uint64_t cum = 0;
+    for (const auto& [idx, c] : h.h.buckets) {
+      cum += c;
+      out += n + "_bucket{le=\"";
+      append_u64(out, LatencyHistogram::bucket_upper(idx));
+      out += "\"} ";
+      append_u64(out, cum);
+      out += '\n';
+    }
+    out += n + "_bucket{le=\"+Inf\"} ";
+    append_u64(out, h.h.count);
+    out += '\n';
+    out += n + "_sum ";
+    append_u64(out, h.h.sum);
+    out += '\n';
+    out += n + "_count ";
+    append_u64(out, h.h.count);
+    out += '\n';
+  }
+  return out;
+}
+
+StatsSink::StatsSink(const MetricRegistry& registry,
+                     std::function<void(const std::string&)> emit,
+                     Options opt)
+    : registry_(registry), emit_(std::move(emit)), opt_(opt) {
+  if (opt_.interval.count() <= 0) opt_.interval = std::chrono::milliseconds(1);
+  thread_ = std::thread([this] { loop(); });
+}
+
+StatsSink::~StatsSink() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_.notify_one();
+  thread_.join();
+  flush_now();  // final report: short-lived processes still emit once
+}
+
+void StatsSink::flush_now() const {
+  MetricsSnapshot snap = registry_.scrape();
+  emit_(opt_.format == Format::kJson ? to_json(snap) : to_prometheus(snap));
+}
+
+void StatsSink::loop() {
+  std::unique_lock<std::mutex> lk(mu_);
+  while (!stop_) {
+    if (cv_.wait_for(lk, opt_.interval, [this] { return stop_; })) break;
+    lk.unlock();
+    flush_now();
+    lk.lock();
+  }
+}
+
+}  // namespace dynsld::obs

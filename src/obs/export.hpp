@@ -1,0 +1,91 @@
+// Exposition: render a MetricsSnapshot as JSON or Prometheus text, and
+// run a periodic StatsSink that scrapes a registry on an interval and
+// hands the rendering to a caller-supplied emitter (a log line, a
+// file, an HTTP response buffer — the sink does not care).
+//
+// JSON shape (one object; histogram values in ns):
+//
+//   {
+//     "counters":   {"engine.flushes": 12, ...},
+//     "gauges":     {"broker.depth": 0, ...},
+//     "histograms": {
+//       "broker.fulfill": {"count": 960, "sum_ns": ..., "max_ns": ...,
+//                          "mean_ns": ..., "p50_ns": ..., "p90_ns": ...,
+//                          "p99_ns": ...,
+//                          "buckets": [[upper_ns, count], ...]}}}
+//
+// Prometheus text: metric names are sanitized ([^a-zA-Z0-9_] -> '_')
+// and prefixed "dynsld_"; counters/gauges are scalar samples,
+// histograms render the standard cumulative _bucket{le="..."} series
+// plus _sum and _count. Values stay in nanoseconds (documented in the
+// # HELP line) — consumers scale, the engine does not guess.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.hpp"
+
+namespace dynsld::obs {
+
+/// Render a scrape as the JSON object described in the header comment.
+std::string to_json(const MetricsSnapshot& m);
+
+/// Render a scrape as Prometheus exposition text (see header comment).
+std::string to_prometheus(const MetricsSnapshot& m);
+
+/// Periodic reporter: scrapes `registry` every `interval`, renders in
+/// the chosen format, and calls `emit` with the text (on the sink's
+/// own thread). Destroy the sink before the registry (and before
+/// whatever the registry's gauges capture — for an engine registry,
+/// before the SldService). The destructor performs one final scrape so
+/// short-lived processes still report their last state.
+class StatsSink {
+ public:
+  /// Output format of each emission.
+  enum class Format { kJson, kPrometheus };
+
+  /// Construction-time knobs.
+  struct Options {
+    /// Scrape cadence.
+    std::chrono::milliseconds interval{1000};
+    /// Rendering handed to the emitter.
+    Format format = Format::kJson;
+  };
+
+  /// Start the reporter thread (first emission after one interval).
+  StatsSink(const MetricRegistry& registry,
+            std::function<void(const std::string&)> emit, Options opt);
+  /// Same, with default Options (overload, not a default argument — a
+  /// nested struct's member initializers aren't usable as one inside
+  /// the enclosing class).
+  StatsSink(const MetricRegistry& registry,
+            std::function<void(const std::string&)> emit)
+      : StatsSink(registry, std::move(emit), Options{}) {}
+  /// Stops the thread after one final scrape+emit.
+  ~StatsSink();
+
+  StatsSink(const StatsSink&) = delete;
+  StatsSink& operator=(const StatsSink&) = delete;
+
+  /// Scrape + emit immediately on the calling thread (handy at
+  /// checkpoints and in tests; concurrent with the periodic thread).
+  void flush_now() const;
+
+ private:
+  void loop();
+
+  const MetricRegistry& registry_;
+  std::function<void(const std::string&)> emit_;
+  Options opt_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;  // guarded by mu_
+  std::thread thread_;
+};
+
+}  // namespace dynsld::obs

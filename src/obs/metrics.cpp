@@ -1,0 +1,178 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+namespace dynsld::obs {
+
+uint64_t now_ns() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+namespace {
+
+/// Shard index of the calling thread: assigned round-robin on first
+/// use, shared by every histogram in the process (one thread always
+/// lands in the same shard slot, spreading writers without locks).
+uint32_t this_thread_shard() {
+  static std::atomic<uint32_t> next{0};
+  thread_local uint32_t shard =
+      next.fetch_add(1, std::memory_order_relaxed) %
+      LatencyHistogram::kShards;
+  return shard;
+}
+
+/// Raise a relaxed max register to at least `v`.
+void relaxed_max(std::atomic<uint64_t>& a, uint64_t v) {
+  uint64_t cur = a.load(std::memory_order_relaxed);
+  while (cur < v &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+uint32_t LatencyHistogram::bucket_of(uint64_t v) {
+  if (v < kSub) return static_cast<uint32_t>(v);
+  int shift = std::bit_width(v) - 1 - kSubBits;
+  if (shift > kMaxShift) return kBuckets - 1;
+  uint32_t mantissa = static_cast<uint32_t>((v >> shift) & (kSub - 1));
+  return kSub + static_cast<uint32_t>(shift) * kSub + mantissa;
+}
+
+uint64_t LatencyHistogram::bucket_lower(uint32_t idx) {
+  if (idx < kSub) return idx;
+  uint32_t shift = (idx - kSub) / kSub;
+  uint64_t mantissa = (idx - kSub) % kSub;
+  return (kSub + mantissa) << shift;
+}
+
+uint64_t LatencyHistogram::bucket_upper(uint32_t idx) {
+  if (idx < kSub) return idx + 1;
+  uint32_t shift = (idx - kSub) / kSub;
+  uint64_t mantissa = (idx - kSub) % kSub;
+  return (kSub + mantissa + 1) << shift;
+}
+
+void LatencyHistogram::record(uint64_t ns) {
+  Shard& s = shards_[this_thread_shard()];
+  s.count[bucket_of(ns)].fetch_add(1, std::memory_order_relaxed);
+  s.sum.fetch_add(ns, std::memory_order_relaxed);
+  relaxed_max(s.max, ns);
+}
+
+HistogramSnapshot LatencyHistogram::snapshot() const {
+  // Merge shard-major into one flat bucket array, then compact.
+  std::array<uint64_t, kBuckets> merged{};
+  HistogramSnapshot out;
+  for (const Shard& s : shards_) {
+    for (uint32_t b = 0; b < kBuckets; ++b) {
+      uint64_t c = s.count[b].load(std::memory_order_relaxed);
+      merged[b] += c;
+      out.count += c;
+    }
+    out.sum += s.sum.load(std::memory_order_relaxed);
+    uint64_t m = s.max.load(std::memory_order_relaxed);
+    if (m > out.max) out.max = m;
+  }
+  for (uint32_t b = 0; b < kBuckets; ++b) {
+    if (merged[b]) out.buckets.emplace_back(b, merged[b]);
+  }
+  return out;
+}
+
+double HistogramSnapshot::percentile(double p) const {
+  if (count == 0) return 0.0;
+  if (p < 0) p = 0;
+  if (p > 100) p = 100;
+  // Nearest-rank: the rank-th smallest sample, rank in [1, count].
+  uint64_t rank = static_cast<uint64_t>(std::ceil(p / 100.0 * count));
+  if (rank == 0) rank = 1;
+  uint64_t cum = 0;
+  for (const auto& [idx, c] : buckets) {
+    if (cum + c >= rank) {
+      // Interpolate inside the bucket; stays within [lower, upper).
+      uint64_t lo = LatencyHistogram::bucket_lower(idx);
+      uint64_t hi = LatencyHistogram::bucket_upper(idx);
+      double frac = static_cast<double>(rank - cum) / static_cast<double>(c);
+      return lo + frac * static_cast<double>(hi - lo - 1);
+    }
+    cum += c;
+  }
+  return static_cast<double>(max);  // relaxed-concurrent slack
+}
+
+uint64_t MetricsSnapshot::counter(std::string_view name) const {
+  for (const Sample& s : counters) {
+    if (s.name == name) return s.value;
+  }
+  return 0;
+}
+
+const HistogramSnapshot* MetricsSnapshot::histogram(
+    std::string_view name) const {
+  for (const Hist& h : histograms) {
+    if (h.name == name) return &h.h;
+  }
+  return nullptr;
+}
+
+void MetricRegistry::add_counter(std::string name,
+                                 const std::atomic<uint64_t>* c) {
+  std::lock_guard<std::mutex> lk(mu_);
+  counters_.emplace_back(std::move(name), c);
+}
+
+void MetricRegistry::add_gauge(std::string name,
+                               std::function<uint64_t()> fn) {
+  std::lock_guard<std::mutex> lk(mu_);
+  gauges_.emplace_back(std::move(name), std::move(fn));
+}
+
+void MetricRegistry::clear_gauges() {
+  std::lock_guard<std::mutex> lk(mu_);
+  gauges_.clear();
+}
+
+LatencyHistogram* MetricRegistry::add_histogram(std::string name) {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const auto& [n, h] : hists_) {
+    if (n == name) return h.get();
+  }
+  hists_.emplace_back(std::move(name), std::make_unique<LatencyHistogram>());
+  return hists_.back().second.get();
+}
+
+LatencyHistogram* MetricRegistry::find_histogram(std::string_view name) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const auto& [n, h] : hists_) {
+    if (n == name) return h.get();
+  }
+  return nullptr;
+}
+
+MetricsSnapshot MetricRegistry::scrape() const {
+  MetricsSnapshot out;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    out.counters.reserve(counters_.size());
+    for (const auto& [name, c] : counters_)
+      out.counters.push_back({name, c->load(std::memory_order_relaxed)});
+    out.gauges.reserve(gauges_.size());
+    for (const auto& [name, fn] : gauges_) out.gauges.push_back({name, fn()});
+    out.histograms.reserve(hists_.size());
+    for (const auto& [name, h] : hists_)
+      out.histograms.push_back({name, h->snapshot()});
+  }
+  auto by_name = [](const auto& a, const auto& b) { return a.name < b.name; };
+  std::sort(out.counters.begin(), out.counters.end(), by_name);
+  std::sort(out.gauges.begin(), out.gauges.end(), by_name);
+  std::sort(out.histograms.begin(), out.histograms.end(), by_name);
+  return out;
+}
+
+}  // namespace dynsld::obs

@@ -1,0 +1,196 @@
+// Metrics: the engine's single scrape surface.
+//
+// Three metric kinds, one registry:
+//
+//   - counters: monotone relaxed atomics owned by whoever bumps them
+//     (EngineStats registers every field here, so the hot paths keep
+//     their one-fetch_add cost and the registry just reads them);
+//   - gauges: point-in-time callbacks (queue depth, current epoch) —
+//     evaluated at scrape, never stored;
+//   - latency histograms: lock-free log-bucketed histograms for the
+//     percentile questions counters cannot answer (flush-stage p99,
+//     broker fulfillment p50).
+//
+// The histogram is HdrHistogram-shaped: values bucket by a power-of-two
+// exponent plus kSubBits mantissa bits, so every bucket's width is at
+// most 1/2^kSubBits of its lower bound (bounded relative error, ~6% at
+// kSubBits = 4) across the full nanosecond range. Recording is one
+// relaxed fetch_add into a per-thread shard — no locks, no CAS loops on
+// the value path — and shards merge only at scrape time, so a writer
+// never contends with a scraper and concurrent writers contend only
+// when they hash to one shard.
+//
+// scrape() returns a plain MetricsSnapshot (names sorted, histograms
+// merged) that the exposition layer (export.hpp) renders as JSON or
+// Prometheus text. Scraping is read-only and safe concurrent with any
+// amount of recording; counts are relaxed-consistent like EngineStats
+// reports.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace dynsld::obs {
+
+/// Monotonic nanosecond clock (steady; the zero point is arbitrary but
+/// fixed for the process). All span and histogram values are in these
+/// units.
+uint64_t now_ns();
+
+/// A merged, immutable copy of one histogram at scrape time: total
+/// count/sum/max plus the non-empty buckets in value order. Percentile
+/// accessors interpolate inside the target bucket, so the estimate is
+/// always within the (bounded-relative-width) bucket that holds the
+/// true sample.
+struct HistogramSnapshot {
+  /// Samples recorded / their sum / the largest single value (all ns).
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t max = 0;
+  /// (bucket index, samples in it), ascending, empty buckets omitted.
+  /// Bucket bounds are recovered via LatencyHistogram::bucket_lower /
+  /// bucket_upper.
+  std::vector<std::pair<uint32_t, uint64_t>> buckets;
+
+  /// Nearest-rank percentile estimate in ns (p in [0, 100]); 0 when
+  /// empty. The estimate lies inside the bucket containing the
+  /// rank-ceil(p/100*count) smallest sample.
+  double percentile(double p) const;
+  /// Convenience percentile accessors (ns).
+  double p50() const { return percentile(50); }
+  double p90() const { return percentile(90); }
+  double p99() const { return percentile(99); }
+  /// Mean recorded value in ns (0 when empty).
+  double mean() const {
+    return count ? static_cast<double>(sum) / static_cast<double>(count) : 0.0;
+  }
+
+  friend bool operator==(const HistogramSnapshot&,
+                         const HistogramSnapshot&) = default;
+};
+
+/// Lock-free log-bucketed latency histogram (see the header comment).
+/// record() is wait-free: one relaxed fetch_add into the calling
+/// thread's shard (plus a relaxed max update). snapshot() merges the
+/// shards into a HistogramSnapshot. Thread-safe in every combination.
+class LatencyHistogram {
+ public:
+  /// Mantissa bits per power-of-two octave: each octave splits into
+  /// 2^kSubBits buckets, bounding relative bucket width to 1/2^kSubBits.
+  static constexpr int kSubBits = 4;
+  /// Buckets below kSub record values exactly (width 1).
+  static constexpr uint32_t kSub = 1u << kSubBits;
+  /// Largest distinguished octave shift; values at/above the top bucket
+  /// (~2^48 ns, > 3 days) clamp into it.
+  static constexpr int kMaxShift = 43;
+  /// Total bucket count of the fixed layout.
+  static constexpr uint32_t kBuckets = kSub + (kMaxShift + 1) * kSub;
+  /// Per-thread shard count (threads hash onto shards round-robin).
+  static constexpr uint32_t kShards = 8;
+
+  /// Record one value (ns). Wait-free, relaxed, callable from any
+  /// thread concurrently with snapshot().
+  void record(uint64_t ns);
+
+  /// Merge every shard into an immutable snapshot (relaxed-consistent
+  /// with concurrent recording, like a counter report).
+  HistogramSnapshot snapshot() const;
+
+  /// Bucket index of a value: identity below kSub, exponent-plus-
+  /// mantissa above, clamped to the top bucket.
+  static uint32_t bucket_of(uint64_t v);
+  /// Smallest value landing in bucket `idx`.
+  static uint64_t bucket_lower(uint32_t idx);
+  /// One past the largest value landing in bucket `idx` (exclusive).
+  static uint64_t bucket_upper(uint32_t idx);
+
+ private:
+  /// One thread-shard: cache-line aligned so shards never false-share.
+  struct alignas(64) Shard {
+    std::array<std::atomic<uint64_t>, kBuckets> count{};
+    std::atomic<uint64_t> sum{0};
+    std::atomic<uint64_t> max{0};
+  };
+
+  std::array<Shard, kShards> shards_;
+};
+
+/// Everything the registry knows, frozen at one scrape: counter and
+/// gauge samples plus merged histogram snapshots, each name-sorted.
+/// The exposition layer (export.hpp) renders this; tests assert on it.
+struct MetricsSnapshot {
+  /// One named integer sample (a counter read or a gauge evaluation).
+  struct Sample {
+    std::string name;
+    uint64_t value = 0;
+  };
+  /// One named histogram merge.
+  struct Hist {
+    std::string name;
+    HistogramSnapshot h;
+  };
+
+  std::vector<Sample> counters;
+  std::vector<Sample> gauges;
+  std::vector<Hist> histograms;
+
+  /// Value of the named counter, or 0 when absent (test convenience).
+  uint64_t counter(std::string_view name) const;
+  /// Snapshot of the named histogram, or null when absent.
+  const HistogramSnapshot* histogram(std::string_view name) const;
+};
+
+/// Named registration point for counters, gauges, and histograms — the
+/// one scrape surface (see the header comment). Registration is
+/// mutex-guarded and expected at setup time; scrape() may run from any
+/// thread concurrently with recording. Counter/gauge storage stays with
+/// the registrant and must outlive the registry's last scrape;
+/// histograms are owned by the registry (stable addresses for the
+/// lifetime of the registry).
+class MetricRegistry {
+ public:
+  /// Register a counter by reference; the registry reads it (relaxed)
+  /// at every scrape. `c` must outlive the registry's last scrape.
+  void add_counter(std::string name, const std::atomic<uint64_t>* c);
+
+  /// Register a gauge callback, evaluated at every scrape. Whatever the
+  /// callback captures must outlive the registry's last scrape.
+  void add_gauge(std::string name, std::function<uint64_t()> fn);
+
+  /// Drop every registered gauge. For registrants whose gauge captures
+  /// die before the registry does (SldService's gauges read the live
+  /// service, but snapshots keep its registry alive longer): call this
+  /// on the registrant's way out so a late scrape reads fewer gauges
+  /// instead of dangling ones.
+  void clear_gauges();
+
+  /// Create (or return the existing) histogram under `name`. The
+  /// pointer stays valid for the registry's lifetime — hot paths cache
+  /// it and call record() with no registry involvement.
+  LatencyHistogram* add_histogram(std::string name);
+
+  /// The histogram registered under `name`, or null.
+  LatencyHistogram* find_histogram(std::string_view name) const;
+
+  /// Read every counter, evaluate every gauge, merge every histogram.
+  /// Name-sorted; safe from any thread.
+  MetricsSnapshot scrape() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<std::pair<std::string, const std::atomic<uint64_t>*>> counters_;
+  std::vector<std::pair<std::string, std::function<uint64_t()>>> gauges_;
+  std::vector<std::pair<std::string, std::unique_ptr<LatencyHistogram>>>
+      hists_;
+};
+
+}  // namespace dynsld::obs

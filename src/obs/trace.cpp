@@ -1,0 +1,40 @@
+#include "obs/trace.hpp"
+
+namespace dynsld::obs {
+
+void TraceRing::record(const char* name, uint64_t tag, uint64_t start_ns,
+                       uint64_t dur_ns) {
+  std::lock_guard<std::mutex> lk(mu_);
+  ring_[head_ % ring_.size()] = SpanRecord{name, tag, start_ns, dur_ns};
+  ++head_;
+}
+
+std::vector<SpanRecord> TraceRing::snapshot() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<SpanRecord> out;
+  size_t n = head_ < ring_.size() ? static_cast<size_t>(head_) : ring_.size();
+  out.reserve(n);
+  // Oldest retained span first: when the ring has wrapped, that is the
+  // slot head_ points at (the next overwrite victim).
+  uint64_t first = head_ < ring_.size() ? 0 : head_ - ring_.size();
+  for (uint64_t i = first; i < head_; ++i)
+    out.push_back(ring_[i % ring_.size()]);
+  return out;
+}
+
+uint64_t TraceRing::total_recorded() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return head_;
+}
+
+uint64_t ScopedSpan::stop() {
+  if (open_) {
+    open_ = false;
+    dur_ns_ = now_ns() - start_ns_;
+    if (ring_) ring_->record(name_, tag_, start_ns_, dur_ns_);
+    if (hist_) hist_->record(dur_ns_);
+  }
+  return dur_ns_;
+}
+
+}  // namespace dynsld::obs

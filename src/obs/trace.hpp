@@ -1,0 +1,138 @@
+// Tracing: lightweight scoped spans in a bounded ring, plus the
+// per-epoch stage breakdown (EpochTrace) the flush pipeline publishes
+// with every snapshot.
+//
+// A span is four words — a static name, a tag (epoch or dispatch-cycle
+// number), a start timestamp, and a duration — recorded when its scope
+// closes. The ring is a fixed-capacity overwrite buffer guarded by one
+// mutex: span recording happens at pipeline-stage granularity (a
+// handful per flush or dispatch cycle, never per query), so a mutex
+// costs nothing where it is used while keeping the scrape path — and
+// TSan — trivially clean. The *hot* per-request measurements go to the
+// lock-free histograms (metrics.hpp) instead; the ring is the "what
+// happened recently, in order" debugging surface.
+//
+// Span taxonomy (tag in parentheses):
+//   flush.drain / flush.apply / flush.shards / flush.cross /
+//   flush.publish / flush.notify                      (epoch)
+//   broker.cycle / broker.resolve                     (dispatch cycle)
+//
+// EpochTrace is the flush pipeline's stage record — queue drain,
+// per-shard apply, dirty-shard snapshot rebuilds, cross-table rebuild —
+// frozen into the published EngineSnapshot (EngineSnapshot::trace()),
+// so any reader can ask "what did the epoch I am looking at cost to
+// build". The publish and notify stages complete only after the
+// snapshot is frozen; they are recorded to the ring and the flush
+// histograms, not the embedded trace.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace dynsld::obs {
+
+/// One closed span: static name, caller tag (epoch / cycle), start
+/// timestamp and duration in ns (now_ns() clock).
+struct SpanRecord {
+  const char* name = nullptr;  ///< static string; never freed
+  uint64_t tag = 0;            ///< epoch or dispatch-cycle number
+  uint64_t start_ns = 0;
+  uint64_t dur_ns = 0;
+};
+
+/// Bounded overwrite ring of SpanRecords (see the header comment).
+/// Thread-safe; recording at stage granularity, scraping rarely.
+class TraceRing {
+ public:
+  /// Default span capacity (per ring, not per name).
+  static constexpr size_t kDefaultCapacity = 4096;
+
+  /// A ring holding the last `capacity` spans (older ones overwritten).
+  explicit TraceRing(size_t capacity = kDefaultCapacity)
+      : ring_(capacity ? capacity : 1) {}
+
+  /// Append one span (oldest is overwritten once full).
+  void record(const char* name, uint64_t tag, uint64_t start_ns,
+              uint64_t dur_ns);
+
+  /// The retained spans, oldest first.
+  std::vector<SpanRecord> snapshot() const;
+
+  /// Total spans ever recorded (>= snapshot().size(); the difference is
+  /// what the ring has overwritten).
+  uint64_t total_recorded() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<SpanRecord> ring_;
+  uint64_t head_ = 0;  // total appended; next slot is head_ % size
+};
+
+/// RAII span: stamps start on construction, records into the ring (and
+/// optionally a latency histogram) when the scope closes or stop() is
+/// called. Null ring/histogram are tolerated no-ops, so call sites
+/// never branch on whether observability is wired up.
+class ScopedSpan {
+ public:
+  /// Open a span named `name` (static string) tagged `tag`; on close it
+  /// lands in `ring` and, when given, its duration also records into
+  /// `hist`.
+  ScopedSpan(TraceRing* ring, const char* name, uint64_t tag,
+             LatencyHistogram* hist = nullptr)
+      : ring_(ring), hist_(hist), name_(name), tag_(tag),
+        start_ns_(now_ns()) {}
+
+  /// Closes the span if still open.
+  ~ScopedSpan() { stop(); }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Close the span now; returns its duration in ns. Idempotent — later
+  /// calls (and the destructor) return the first stop's duration.
+  uint64_t stop();
+
+  /// Discard the span: nothing is recorded (for scopes that turn out to
+  /// be no-ops, like a flush that drained an empty queue).
+  void cancel() { open_ = false; }
+
+ private:
+  TraceRing* ring_;
+  LatencyHistogram* hist_;
+  const char* name_;
+  uint64_t tag_;
+  uint64_t start_ns_;
+  uint64_t dur_ns_ = 0;
+  bool open_ = true;
+};
+
+/// Stage breakdown of one flush, frozen into the epoch it published
+/// (EngineSnapshot::trace()). Durations are ns on the now_ns() clock;
+/// stages absent from a flush (e.g. no cross churn) read 0.
+struct EpochTrace {
+  /// The epoch this flush published.
+  uint64_t epoch = 0;
+  /// Coalesced ops applied (the drained batch size).
+  uint64_t ops = 0;
+  /// Dirty shards whose dendrogram snapshot was rebuilt.
+  int shards_rebuilt = 0;
+  /// Queue drain + coalesce.
+  uint64_t drain_ns = 0;
+  /// Per-shard batch apply (parallel across shards).
+  uint64_t apply_ns = 0;
+  /// Dirty-shard snapshot rebuilds (parallel; includes clean reuse).
+  uint64_t shards_ns = 0;
+  /// Cross-edge view rebuild (0 when the cross table was untouched).
+  uint64_t cross_ns = 0;
+
+  /// Sum of the recorded stages (the in-lock flush cost; publish and
+  /// notify land in the ring/histograms, not here).
+  uint64_t total_ns() const {
+    return drain_ns + apply_ns + shards_ns + cross_ns;
+  }
+};
+
+}  // namespace dynsld::obs

@@ -412,5 +412,52 @@ TEST(QueryBroker, NumClustersMatchesHistogramReassembly) {
   }
 }
 
+/// Every fulfilled submit records its submit->fulfill latency into the
+/// broker.fulfill histogram, and the resulting percentiles are sane:
+/// p50 <= p99 <= the bucket bound of the recorded max. Error-path
+/// resolutions (here: a pre-expired deadline) never record — the
+/// histogram answers "how fast are answers", not "how fast are
+/// rejections".
+TEST(QueryBroker, FulfillmentHistogramTracksCompletedRequests) {
+  ServiceConfig cfg;
+  cfg.num_vertices = 40;
+  cfg.num_shards = 2;
+  SldService svc(cfg);
+  par::Rng rng = test::test_rng();
+  seed_two_shards(svc, rng);
+
+  const int kRequests = 64;
+  for (int i = 0; i < kRequests; ++i) {
+    QueryRequest req;
+    auto [u, v] = test::random_distinct_pair(rng, 40);
+    req.queries = {SameClusterQuery{u, v, 0.6}};
+    svc.submit(std::move(req)).get();
+  }
+  // An expired request resolves exceptionally and must not record.
+  {
+    QueryRequest req;
+    req.queries = {SameClusterQuery{0, 1, 0.6}};
+    req.deadline = std::chrono::steady_clock::now() - 1ms;
+    auto fut = svc.submit(std::move(req));
+    EXPECT_EQ(error_code_of(fut), QueryErrorCode::kDeadlineExceeded);
+  }
+
+  auto scrape = svc.obs().registry.scrape();
+  const obs::HistogramSnapshot* h = scrape.histogram("broker.fulfill");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, static_cast<uint64_t>(kRequests));
+  EXPECT_GT(h->max, 0u);
+  EXPECT_LE(h->p50(), h->p90());
+  EXPECT_LE(h->p90(), h->p99());
+  // The p99 estimate interpolates inside a bucket, so it is bounded by
+  // the upper edge of the bucket holding the true maximum.
+  EXPECT_LT(h->p99(),
+            static_cast<double>(obs::LatencyHistogram::bucket_upper(
+                obs::LatencyHistogram::bucket_of(h->max))));
+
+  // The dispatcher's own cycle instrumentation ran too.
+  EXPECT_GT(svc.obs().broker_cycle->snapshot().count, 0u);
+}
+
 }  // namespace
 }  // namespace dynsld::engine

@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Compare two dynsld-bench-v1 trajectory files (BENCH_*.json) and flag
+regressions.
+
+Metrics are matched by (experiment, name). The unit decides which
+direction is a regression:
+
+  - time units (ns / us / ms / s): bigger is worse
+  - rates (unit ending in "/s") and speedup factors ("x"): smaller is
+    worse
+  - everything else ("count", "%", ...): reported, never a regression
+
+Usage:
+
+  python3 tools/bench_diff.py BENCH_old.json BENCH_new.json \
+      --threshold 25
+
+Exits non-zero when any comparable metric regressed by more than
+--threshold percent (default 10). Metrics present on one side only are
+reported but never fail the diff. Values below --min-us microseconds
+(time metrics only, default 50) are skipped as noise-dominated.
+"""
+
+import argparse
+import json
+import sys
+
+TIME_UNITS = {"ns", "us", "ms", "s"}
+TIME_TO_US = {"ns": 1e-3, "us": 1.0, "ms": 1e3, "s": 1e6}
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != "dynsld-bench-v1":
+        sys.exit(f"{path}: not a dynsld-bench-v1 file")
+    return doc
+
+
+def direction(unit):
+    """+1: bigger is worse; -1: smaller is worse; 0: informational."""
+    if unit in TIME_UNITS:
+        return +1
+    if unit.endswith("/s") or unit == "x":
+        return -1
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("old", help="baseline BENCH_*.json")
+    ap.add_argument("new", help="candidate BENCH_*.json")
+    ap.add_argument(
+        "--threshold",
+        type=float,
+        default=10.0,
+        metavar="PCT",
+        help="regression tolerance in percent (default 10)",
+    )
+    ap.add_argument(
+        "--min-us",
+        type=float,
+        default=50.0,
+        metavar="US",
+        help="skip time metrics below this many microseconds (noise)",
+    )
+    args = ap.parse_args()
+
+    old_doc, new_doc = load(args.old), load(args.new)
+    if old_doc.get("smoke") != new_doc.get("smoke"):
+        print(
+            "warning: comparing a smoke run against a full run",
+            file=sys.stderr,
+        )
+
+    old = {
+        (m["experiment"], m["name"]): m for m in old_doc["metrics"]
+    }
+    new = {
+        (m["experiment"], m["name"]): m for m in new_doc["metrics"]
+    }
+
+    regressions = []
+    print(f"{'experiment:name':<44} {'old':>12} {'new':>12} {'delta':>9}")
+    for key in sorted(old.keys() | new.keys()):
+        label = f"{key[0]}:{key[1]}"
+        if key not in old:
+            print(f"{label:<44} {'-':>12} {new[key]['value']:>12.4g}   (new)")
+            continue
+        if key not in new:
+            print(f"{label:<44} {old[key]['value']:>12.4g} {'-':>12}   (gone)")
+            continue
+        o, n = old[key]["value"], new[key]["value"]
+        unit = new[key]["unit"]
+        if o == 0:
+            delta = 0.0 if n == 0 else float("inf")
+        else:
+            delta = 100.0 * (n - o) / o
+        sign = direction(unit)
+        worse = sign * delta
+        flag = ""
+        skipped = (
+            unit in TIME_UNITS
+            and max(o, n) * TIME_TO_US[unit] < args.min_us
+        )
+        if sign and not skipped and worse > args.threshold:
+            flag = "  REGRESSION"
+            regressions.append((label, o, n, delta, unit))
+        elif sign and not skipped and worse < -args.threshold:
+            flag = "  improved"
+        print(
+            f"{label:<44} {o:>12.4g} {n:>12.4g} {delta:>+8.1f}%{flag}"
+        )
+
+    if regressions:
+        print(
+            f"\n{len(regressions)} regression(s) beyond "
+            f"{args.threshold:.0f}%:",
+            file=sys.stderr,
+        )
+        for label, o, n, delta, unit in regressions:
+            print(
+                f"  {label}: {o:.4g} -> {n:.4g} {unit} ({delta:+.1f}%)",
+                file=sys.stderr,
+            )
+        return 1
+    print(f"\nno regressions beyond {args.threshold:.0f}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Validate a BENCH_*.json trajectory file against the dynsld-bench-v1
+schema (bench/bench_util.hpp JsonLog is the writer).
+
+Checks:
+  - top-level keys: schema (== "dynsld-bench-v1"), bench (str),
+    smoke (bool), workers (int), metrics (list)
+  - every metric record: experiment (str), name (str), value (finite
+    number), unit (str)
+  - no duplicate (experiment, name) pairs (bench_diff.py keys on them)
+  - each --require EXPERIMENT:NAME is present
+
+Exit status is the number of problems found (0 = valid), so CI can
+gate on it directly:
+
+  python3 tools/bench_schema_check.py BENCH_engine.json \
+      --require E-ENGINE-7:broker_fulfill_p50_us
+"""
+
+import argparse
+import json
+import math
+import sys
+
+SCHEMA = "dynsld-bench-v1"
+
+TOP_KEYS = {
+    "schema": str,
+    "bench": str,
+    "smoke": bool,
+    "workers": int,
+    "metrics": list,
+}
+METRIC_KEYS = {
+    "experiment": str,
+    "name": str,
+    "value": (int, float),
+    "unit": str,
+}
+
+
+def check(path, requires):
+    problems = []
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return [f"{path}: unreadable or invalid JSON: {e}"]
+
+    if not isinstance(doc, dict):
+        return [f"{path}: top level is not an object"]
+
+    for key, typ in TOP_KEYS.items():
+        if key not in doc:
+            problems.append(f"{path}: missing top-level key '{key}'")
+        elif not isinstance(doc[key], typ) or (
+            typ is int and isinstance(doc[key], bool)
+        ):
+            problems.append(
+                f"{path}: key '{key}' is {type(doc[key]).__name__}, "
+                f"want {typ.__name__}"
+            )
+    if doc.get("schema") not in (None, SCHEMA):
+        problems.append(
+            f"{path}: schema is {doc['schema']!r}, want {SCHEMA!r}"
+        )
+
+    seen = set()
+    for i, m in enumerate(doc.get("metrics") or []):
+        where = f"{path}: metrics[{i}]"
+        if not isinstance(m, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        for key, typ in METRIC_KEYS.items():
+            if key not in m:
+                problems.append(f"{where}: missing '{key}'")
+            elif not isinstance(m[key], typ) or isinstance(m[key], bool):
+                problems.append(
+                    f"{where}: '{key}' is {type(m[key]).__name__}"
+                )
+        val = m.get("value")
+        if isinstance(val, float) and not math.isfinite(val):
+            problems.append(f"{where}: value is not finite")
+        key = (m.get("experiment"), m.get("name"))
+        if all(key):
+            if key in seen:
+                problems.append(f"{where}: duplicate metric {key}")
+            seen.add(key)
+
+    for req in requires:
+        exp, _, name = req.partition(":")
+        if not name:
+            problems.append(f"--require '{req}' is not EXPERIMENT:NAME")
+        elif (exp, name) not in seen:
+            problems.append(f"{path}: required metric {exp}:{name} missing")
+
+    return problems
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("files", nargs="+", help="BENCH_*.json files to check")
+    ap.add_argument(
+        "--require",
+        action="append",
+        default=[],
+        metavar="EXPERIMENT:NAME",
+        help="fail unless this metric is present (repeatable)",
+    )
+    args = ap.parse_args()
+
+    problems = []
+    for path in args.files:
+        problems += check(path, args.require)
+    for p in problems:
+        print(p, file=sys.stderr)
+    if not problems:
+        print(f"schema OK: {', '.join(args.files)}")
+    return min(len(problems), 100)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

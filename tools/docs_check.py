@@ -3,7 +3,8 @@
 
 Two checks, both enforced by CI (and runnable locally from anywhere):
 
-  1. Public-API comment coverage over src/engine/*.hpp.
+  1. Public-API comment coverage over src/engine/*.hpp and
+     src/obs/*.hpp.
      Every *public declaration* — a namespace-scope class / struct /
      enum / using / free function, or a public member function — must
      carry a comment block: the declaration, or the contiguous run of
@@ -33,7 +34,7 @@ import sys
 
 ROOT = pathlib.Path(__file__).resolve().parent.parent
 
-HEADER_GLOB = "src/engine/*.hpp"
+HEADER_GLOBS = ["src/engine/*.hpp", "src/obs/*.hpp"]
 DOC_FILES = ["README.md", "docs/*.md"]
 
 EXEMPT_DECL = re.compile(r"=\s*(default|delete)\s*;")
@@ -272,8 +273,9 @@ def check_links(path: pathlib.Path) -> list[str]:
 
 def main() -> int:
     problems = []
-    for hpp in sorted(ROOT.glob(HEADER_GLOB)):
-        problems += check_header(hpp)
+    for pattern in HEADER_GLOBS:
+        for hpp in sorted(ROOT.glob(pattern)):
+            problems += check_header(hpp)
     for pattern in DOC_FILES:
         for md in sorted(ROOT.glob(pattern)):
             problems += check_links(md)
