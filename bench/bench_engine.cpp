@@ -30,13 +30,22 @@
 //      resolution counters prove one cross-UF per (epoch, tau) group
 //      fleet-wide on the broker paths; p50/p99 fulfillment latency is
 //      reported for both broker modes.
+//   8. Durability: one churny schedule replayed under no persistence /
+//      WAL with fsync off / every-8 / every-1 (the flush-path tax per
+//      policy), recovery wall time for WAL-only replay vs checkpoint +
+//      tail over the same history, and AsOf{epoch} query latency per
+//      serving tier (retention ring, cold checkpoint rehydration,
+//      rehydration LRU) against the Latest baseline.
 //
 //   $ ./bench_engine [--smoke]     (--smoke: tiny sizes, CI rot check)
+#include <unistd.h>
+
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <deque>
+#include <filesystem>
 #include <future>
 #include <mutex>
 #include <thread>
@@ -48,6 +57,7 @@
 #include "engine/subscription.hpp"
 #include "parallel/par.hpp"
 #include "parallel/random.hpp"
+#include "persist/persist.hpp"
 
 using namespace dynsld;
 using namespace dynsld::engine;
@@ -687,6 +697,170 @@ static void broker_cross_client(bool smoke) {
                sync_run.res_per_round, async.res_per_round);
 }
 
+static void durability(bool smoke) {
+  bench::header("E-ENGINE-8",
+                "durability: WAL tax per fsync policy, recovery, AsOf");
+  namespace fs = std::filesystem;
+  const vertex_id n = smoke ? 256 : 4096;
+  const int shards = 4;
+  const int epochs = smoke ? 24 : 120;
+  const int batch = smoke ? 64 : 512;
+
+  // One deterministic churny schedule, replayed identically under each
+  // persistence configuration (distinct weights keep replay exact).
+  auto drive = [&](SldService& svc) {
+    par::Rng rng(7);
+    uint64_t widx = 0;
+    std::vector<ticket_t> live;
+    for (int e = 0; e < epochs; ++e) {
+      for (int i = 0; i < batch; ++i) {
+        if (!live.empty() && rng.next_double() < 0.3) {
+          size_t j = rng.next_bounded(live.size());
+          svc.erase(live[j]);
+          live[j] = live.back();
+          live.pop_back();
+        } else {
+          vertex_id u = static_cast<vertex_id>(rng.next_bounded(n));
+          vertex_id v = static_cast<vertex_id>(rng.next_bounded(n - 1));
+          if (v >= u) ++v;
+          live.push_back(svc.insert(
+              u, v,
+              static_cast<double>(widx * 2654435761ull % 999983ull) /
+                  999983.0));
+          ++widx;
+        }
+      }
+      svc.flush();
+    }
+  };
+
+  struct Variant {
+    const char* label;
+    const char* metric;  // json suffix
+    bool persist;
+    persist::FsyncPolicy policy;
+    uint64_t every_n;
+  };
+  const Variant variants[] = {
+      {"no persistence", "nopersist", false, persist::FsyncPolicy::kOff, 0},
+      {"WAL, fsync off", "fsync_off", true, persist::FsyncPolicy::kOff, 0},
+      {"WAL, fsync every 8", "fsync_every8", true,
+       persist::FsyncPolicy::kEveryN, 8},
+      {"WAL, fsync every 1", "fsync_every1", true,
+       persist::FsyncPolicy::kEveryN, 1},
+  };
+
+  bench::row("%-22s %12s %14s %10s %10s", "flush path", "wall ms",
+             "updates/s", "ms/epoch", "WAL MB");
+  const fs::path base =
+      fs::temp_directory_path() /
+      ("dynsld_bench_persist_" +
+       std::to_string(static_cast<unsigned long long>(::getpid())));
+  double baseline_ms = 0;
+  for (const Variant& var : variants) {
+    const fs::path dir = base / var.metric;
+    fs::remove_all(dir);
+    ServiceConfig cfg;
+    cfg.num_vertices = n;
+    cfg.num_shards = shards;
+    if (var.persist) {
+      cfg.persist.dir = dir.string();
+      cfg.persist.fsync_policy = var.policy;
+      cfg.persist.fsync_every_n = var.every_n;
+      cfg.persist.checkpoint_every = 1u << 30;  // isolate the WAL tax
+    }
+    bench::Timer t;
+    uint64_t wal_bytes = 0;
+    {
+      SldService svc(cfg);
+      drive(svc);
+      wal_bytes = svc.stats().wal_bytes;
+    }
+    double ms = t.ms();
+    if (!var.persist) baseline_ms = ms;
+    bench::row("%-22s %12.1f %14.0f %10.2f %10.2f", var.label, ms,
+               epochs * static_cast<double>(batch) / (ms / 1000.0),
+               ms / epochs, wal_bytes / 1e6);
+    bench::json_log().metric("E-ENGINE-8",
+                             std::string("flush_ms_per_epoch_") + var.metric,
+                             ms / epochs, "ms");
+    if (var.persist && baseline_ms > 0)
+      bench::json_log().metric("E-ENGINE-8",
+                               std::string("wal_overhead_pct_") + var.metric,
+                               (ms - baseline_ms) / baseline_ms * 100.0, "%");
+  }
+
+  // Recovery: WAL-only replay vs checkpoint + short tail, same history.
+  for (bool ckpt : {false, true}) {
+    const fs::path dir = base / (ckpt ? "recover_ckpt" : "recover_wal");
+    fs::remove_all(dir);
+    ServiceConfig cfg;
+    cfg.num_vertices = n;
+    cfg.num_shards = shards;
+    cfg.persist.dir = dir.string();
+    cfg.persist.checkpoint_every = ckpt ? 16 : (1u << 30);
+    {
+      SldService svc(cfg);
+      drive(svc);
+    }
+    bench::Timer t;
+    auto res = persist::recover(cfg);
+    double ms = t.ms();
+    bench::row("%-22s %12.1f ms to epoch %llu (%llu records replayed)",
+               ckpt ? "recover ckpt+tail:" : "recover WAL-only:", ms,
+               static_cast<unsigned long long>(res.tip_epoch),
+               static_cast<unsigned long long>(res.records_replayed));
+    bench::json_log().metric(
+        "E-ENGINE-8", ckpt ? "recover_ckpt_ms" : "recover_walonly_ms", ms,
+        "ms");
+    if (!ckpt)
+      bench::json_log().metric("E-ENGINE-8", "recover_replayed",
+                               static_cast<double>(res.records_replayed),
+                               "count");
+  }
+
+  // AsOf vs Latest: the price of time travel per serving tier.
+  {
+    const fs::path dir = base / "asof";
+    fs::remove_all(dir);
+    ServiceConfig cfg;
+    cfg.num_vertices = n;
+    cfg.num_shards = shards;
+    cfg.retain_epochs = 8;
+    cfg.persist.dir = dir.string();
+    cfg.persist.checkpoint_every = 16;
+    SldService svc(cfg);
+    drive(svc);
+    const uint64_t tip = svc.epoch();
+    const uint64_t ring_epoch = tip - 4;          // in the retention ring
+    const uint64_t cold_epoch = (tip / 16) * 16;  // checkpointed, off-ring
+    const int reps = smoke ? 50 : 400;
+    auto timed = [&](const char* label, const char* metric, auto consistency,
+                     int iters) {
+      bench::Timer t;
+      for (int i = 0; i < iters; ++i) {
+        QueryRequest req;
+        req.queries = {NumClustersQuery{0.5}};
+        req.consistency = consistency;
+        (void)svc.submit(std::move(req)).get();
+      }
+      double us = t.us() / iters;
+      bench::row("%-22s %12.2f us/query", label, us);
+      bench::json_log().metric("E-ENGINE-8", metric, us, "us");
+      return us;
+    };
+    timed("query Latest:", "latest_us", Latest{}, reps);
+    timed("query AsOf (ring):", "asof_ring_us", AsOf{ring_epoch}, reps);
+    // First touch decodes the checkpoint; repeats hit the LRU.
+    timed("AsOf rehydrate cold:", "asof_rehydrate_first_us", AsOf{cold_epoch},
+          1);
+    timed("AsOf rehydrate LRU:", "asof_rehydrate_cached_us", AsOf{cold_epoch},
+          reps);
+  }
+  std::error_code ec;
+  fs::remove_all(base, ec);
+}
+
 int main(int argc, char** argv) {
   bool smoke = false;
   for (int i = 1; i < argc; ++i)
@@ -700,6 +874,7 @@ int main(int argc, char** argv) {
   subscription_refresh(smoke);
   label_maintenance(smoke);
   broker_cross_client(smoke);
+  durability(smoke);
   bench::json_log().write();
   return 0;
 }

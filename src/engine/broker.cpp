@@ -52,6 +52,11 @@ QueryBroker::QueryBroker(const EpochManager& epochs, SubscriptionHub& hub,
 
 QueryBroker::~QueryBroker() { shutdown(); }
 
+void QueryBroker::set_rehydrator(Rehydrator fn) {
+  std::lock_guard<std::mutex> lk(rehydrate_mu_);
+  rehydrate_ = std::move(fn);
+}
+
 std::future<ResultSet> QueryBroker::error_future(QueryErrorCode code) {
   std::promise<ResultSet> p;
   p.set_exception(std::make_exception_ptr(QueryError(code)));
@@ -124,10 +129,12 @@ std::future<ResultSet> QueryBroker::prepare(QueryRequest&& req, bool stopped,
   if (req.queries.empty()) {
     // Nothing to execute: complete immediately at the relevant epoch —
     // UNLESS the request is an AtLeastEpoch barrier whose epoch has
-    // not published yet; that must park like any other request and
-    // resolve (empty) only once the awaited epoch lands.
+    // not published yet (must park like any other request) or an AsOf
+    // (must resolve the historical epoch on the dispatcher, where a
+    // miss becomes kEpochUnavailable rather than a silent success).
     const auto* ae = std::get_if<AtLeastEpoch>(&req.consistency);
-    if (!ae || epochs_.cur_epoch() >= ae->epoch) {
+    if (!std::holds_alternative<AsOf>(req.consistency) &&
+        (!ae || epochs_.cur_epoch() >= ae->epoch)) {
       ResultSet rs;
       const auto* p = std::get_if<Pinned>(&req.consistency);
       rs.epoch = p && p->snap ? p->snap->epoch() : epochs_.cur_epoch();
@@ -320,6 +327,33 @@ void QueryBroker::dispatch_cycle() {
       }
     } else if (const auto* p = std::get_if<Pinned>(&r->req.consistency)) {
       if (p->snap) snap = p->snap;
+    } else if (const auto* ao = std::get_if<AsOf>(&r->req.consistency)) {
+      // Time travel: current epoch, then the in-memory retention ring,
+      // then checkpoint rehydration; a miss everywhere is a typed
+      // error, never a silently-wrong epoch. Rehydrated snapshots come
+      // from an LRU keyed by epoch, so concurrent AsOf clients at one
+      // epoch share a pointer — and therefore a (snapshot, tau) group.
+      if (ao->epoch != cur->epoch()) {
+        EpochManager::Snap hist = epochs_.at_epoch(ao->epoch);
+        if (hist) {
+          if (stats_)
+            stats_->asof_retained.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          Rehydrator fn;
+          {
+            std::lock_guard<std::mutex> lk(rehydrate_mu_);
+            fn = rehydrate_;
+          }
+          if (fn) hist = fn(ao->epoch);
+        }
+        if (!hist) {
+          if (stats_)
+            stats_->asof_unavailable.fetch_add(1, std::memory_order_relaxed);
+          finish_error(r, QueryErrorCode::kEpochUnavailable);
+          continue;
+        }
+        snap = std::move(hist);
+      }
     }
     r->out.epoch = snap->epoch();
     r->out.results.resize(r->req.queries.size());

@@ -52,6 +52,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <map>
 #include <memory>
@@ -122,6 +123,15 @@ class QueryBroker {
   /// dispatching) — the admission-control gauge.
   size_t depth() const { return depth_.load(std::memory_order_acquire); }
 
+  /// Checkpoint-rehydration tier of AsOf{epoch}: resolves a historical
+  /// epoch the in-memory retention ring no longer holds (null result =
+  /// no checkpoint at that epoch). Thread-safe to set; invoked on the
+  /// dispatcher thread only.
+  using Rehydrator = std::function<EpochManager::Snap(uint64_t)>;
+  /// Install/replace the rehydration tier (the service wires this when
+  /// persistence attaches; without one, ring misses are unavailable).
+  void set_rehydrator(Rehydrator fn);
+
  private:
   /// One accepted request: envelope, fulfillment state, intake link.
   struct Request {
@@ -190,6 +200,9 @@ class QueryBroker {
   std::atomic<Request*> intake_{nullptr};
   std::atomic<size_t> depth_{0};
   std::atomic<bool> stopped_{false};
+
+  std::mutex rehydrate_mu_;  // guards rehydrate_ (set vs dispatcher read)
+  Rehydrator rehydrate_;
 
   std::mutex mu_;  // dispatcher sleep/wake + stop flag
   std::condition_variable cv_;

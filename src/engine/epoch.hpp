@@ -21,6 +21,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <limits>
 #include <memory>
 #include <mutex>
@@ -29,6 +30,10 @@
 #include "engine/snapshot.hpp"
 #include "engine/stats.hpp"
 #include "graph/types.hpp"
+
+namespace dynsld::persist {
+struct SnapshotCodec;  // persist/checkpoint.hpp
+}
 
 namespace dynsld::engine {
 
@@ -179,6 +184,9 @@ class EngineSnapshot {
 
  private:
   friend class ShardRouter;
+  // The checkpoint byte codec: the one place these private arrays
+  // cross the process boundary (persist/checkpoint.hpp).
+  friend struct persist::SnapshotCodec;
   EngineSnapshot() = default;
 
   uint64_t epoch_ = 0;
@@ -213,6 +221,10 @@ class EpochManager {
     uint64_t e = s->epoch();
     {
       std::lock_guard<std::mutex> lk(mu_);
+      if (retain_ > 0 && cur_) {
+        ring_.push_back(cur_);
+        while (ring_.size() > retain_) ring_.pop_front();
+      }
       cur_ = std::move(s);
     }
     epoch_.store(e, std::memory_order_release);
@@ -220,9 +232,32 @@ class EpochManager {
 
   uint64_t cur_epoch() const { return epoch_.load(std::memory_order_acquire); }
 
+  /// Keep the last `n` superseded snapshots alive for AsOf time travel
+  /// (0 = current epoch only). The ring pins memory: each retained
+  /// epoch holds its rebuilt shards and cross table.
+  void set_retention(size_t n) {
+    std::lock_guard<std::mutex> lk(mu_);
+    retain_ = n;
+    while (ring_.size() > retain_) ring_.pop_front();
+  }
+
+  /// The retained snapshot of exactly `epoch` (current included), or
+  /// null when it fell off the ring. O(retention) scan — the ring is
+  /// small by construction.
+  Snap at_epoch(uint64_t epoch) const {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (cur_ && cur_->epoch() == epoch) return cur_;
+    for (auto it = ring_.rbegin(); it != ring_.rend(); ++it)
+      if ((*it)->epoch() == epoch) return *it;
+    return nullptr;
+  }
+
  private:
   mutable std::mutex mu_;
   Snap cur_;
+  // Recently superseded epochs, oldest first (guarded by mu_).
+  std::deque<Snap> ring_;
+  size_t retain_ = 0;
   std::atomic<uint64_t> epoch_{0};
 };
 

@@ -147,6 +147,48 @@ class MutationQueue {
     return true;
   }
 
+  // ---- recovery plumbing (persist/persist.hpp) ----
+  // Replay re-enqueues WAL operations with their ORIGINAL tickets, so
+  // ticket identity — and the endpoint ledger's most-recent-copy
+  // resolution — survives a crash. None of these bump enqueue stats:
+  // replayed traffic already counted when it first ran.
+
+  /// Re-enqueue an insertion under its original ticket. The ticket
+  /// counter is raised past `t`, so post-recovery insertions never
+  /// collide with history.
+  void restore_insert(ticket_t t, vertex_id u, vertex_id v, double w) {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (t >= next_ticket_) next_ticket_ = t + 1;
+    pending_pos_[t] = inserts_.size();
+    inserts_.push_back(InsertOp{t, u, v, w});
+    ++live_inserts_;
+    uint64_t k = endpoint_key(u, v);
+    by_endpoints_[k].push_back(t);
+    key_of_[t] = k;
+  }
+
+  /// Re-enqueue an erase by original ticket (replay: the ticket was
+  /// applied by an earlier replayed epoch, so this never annihilates).
+  void restore_erase(ticket_t t) {
+    std::lock_guard<std::mutex> lk(mu_);
+    erase_locked(t, /*count=*/false);
+  }
+
+  /// Raise the ticket counter to at least `floor` (recovery restores
+  /// the checkpoint's counter so erased-then-forgotten tickets are
+  /// never reissued).
+  void restore_ticket_floor(ticket_t floor) {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (floor > next_ticket_) next_ticket_ = floor;
+  }
+
+  /// The next ticket enqueue_insert would hand out (checkpoints record
+  /// it as the restore floor).
+  ticket_t next_ticket() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return next_ticket_;
+  }
+
   Drained drain() {
     std::lock_guard<std::mutex> lk(mu_);
     Drained d;
@@ -174,8 +216,9 @@ class MutationQueue {
     return (static_cast<uint64_t>(u) << 32) | v;
   }
 
-  bool erase_locked(ticket_t t) {
-    if (stats_) stats_->erases_enqueued.fetch_add(1, std::memory_order_relaxed);
+  bool erase_locked(ticket_t t, bool count = true) {
+    if (count && stats_)
+      stats_->erases_enqueued.fetch_add(1, std::memory_order_relaxed);
     // Capture the ledger's endpoints while dropping the entry (one
     // lookup for both): a queued erase of an applied ticket carries
     // them into the drained batch.
@@ -194,11 +237,13 @@ class MutationQueue {
       inserts_[it->second].ticket = kNoTicket;  // tombstone
       pending_pos_.erase(it);
       --live_inserts_;
-      if (stats_) stats_->coalesced_pairs.fetch_add(1, std::memory_order_relaxed);
+      if (count && stats_)
+        stats_->coalesced_pairs.fetch_add(1, std::memory_order_relaxed);
       return false;
     }
     if (!erase_set_.insert(t).second) {
-      if (stats_) stats_->duplicate_erases.fetch_add(1, std::memory_order_relaxed);
+      if (count && stats_)
+        stats_->duplicate_erases.fetch_add(1, std::memory_order_relaxed);
       return false;
     }
     erases_.push_back(EraseOp{t, eu, ev});

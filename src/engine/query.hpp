@@ -117,6 +117,7 @@ enum class QueryErrorCode {
   kCancelled,          ///< its CancelToken fired while it was queued
   kAdmissionRejected,  ///< intake was at queue-depth capacity at submit
   kShutdown,           ///< the broker shut down with the request in flight
+  kEpochUnavailable,   ///< AsOf epoch outside the retained history
 };
 
 /// Human-readable name of an error code (log/diagnostic helper).
@@ -126,6 +127,7 @@ inline const char* query_error_name(QueryErrorCode c) {
     case QueryErrorCode::kCancelled: return "cancelled";
     case QueryErrorCode::kAdmissionRejected: return "admission rejected";
     case QueryErrorCode::kShutdown: return "broker shutdown";
+    case QueryErrorCode::kEpochUnavailable: return "epoch unavailable";
   }
   return "unknown";
 }
@@ -208,8 +210,19 @@ struct Pinned {
   std::shared_ptr<const EngineSnapshot> snap;
 };
 
-/// When/where a request's queries are answered (see the three modes).
-using Consistency = std::variant<Latest, AtLeastEpoch, Pinned>;
+/// Consistency mode: time travel — answer at the HISTORICAL epoch
+/// `epoch` exactly. Served from the in-memory retention ring
+/// (ServiceConfig::retain_epochs recent epochs) when possible, else
+/// rehydrated from a checkpoint file when the service persists and a
+/// checkpoint exists at exactly that epoch; otherwise the request
+/// resolves with QueryError{kEpochUnavailable}. An AsOf at the current
+/// epoch behaves like Latest.
+struct AsOf {
+  uint64_t epoch;
+};
+
+/// When/where a request's queries are answered (see the four modes).
+using Consistency = std::variant<Latest, AtLeastEpoch, Pinned, AsOf>;
 
 /// Deadline clock of the request plane (steady: immune to wall-clock
 /// jumps). Deadline::max() — the default — means "no deadline".

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "persist/persist.hpp"
+
 namespace dynsld::engine {
 
 SldService::SldService(const ServiceConfig& cfg)
@@ -22,11 +24,22 @@ SldService::SldService(const ServiceConfig& cfg)
   obs_->registry.add_gauge("engine.subscribers", [this] {
     return static_cast<uint64_t>(subs_.size());
   });
+  // AsOf retention: superseded epochs stay queryable from memory.
+  epochs_.set_retention(cfg_.retain_epochs);
   // Epoch 0: the empty snapshot, so readers never see a null view.
   epochs_.publish(router_.build_snapshot(0, nullptr, cfg_.capture_edges));
   broker_ = std::make_unique<QueryBroker>(
       epochs_, subs_, obs_,
       QueryBroker::Options{cfg_.broker_queue_depth, cfg_.broker_interval});
+  if (cfg_.persist.enabled()) {
+    // Fresh durable service: refuse a directory that already holds
+    // state (recover() is the resume path; shadowing it would fork
+    // history), then engage the WAL from the very first flush.
+    auto pm = std::make_unique<persist::PersistenceManager>(
+        cfg_.persist, persist::local_backend(), obs_);
+    pm->require_fresh();
+    attach_persistence(std::move(pm));
+  }
 }
 
 SldService::~SldService() {
@@ -97,6 +110,10 @@ uint64_t SldService::flush() {
     stats_->flushes.fetch_add(1, std::memory_order_relaxed);
     stats_->ops_applied.fetch_add(batch.size(), std::memory_order_relaxed);
     stats_->bump_max_batch(batch.size());
+    // Write-ahead: the batch is durable (per the fsync policy) before
+    // any of it mutates the shards, so a crash at any later point
+    // replays to exactly this epoch.
+    if (persist_) persist_->log_batch(e_tag, batch);
     obs::ScopedSpan apply_span(&obs_->trace, "flush.apply", e_tag,
                                obs_->flush_apply);
     router_.apply(batch);
@@ -115,6 +132,9 @@ uint64_t SldService::flush() {
                                  obs_->flush_publish);
     epochs_.publish(published);
     publish_span.stop();
+    // Checkpoint cadence (still under the flush lock: the live-edge
+    // table and the published snapshot must agree).
+    if (persist_) persist_->on_publish(*published, queue_.next_ticket());
   }
   // Notify subscribers outside the flush lock so callbacks may read the
   // service (snapshot(), view(), even enqueue updates — not flush()).
@@ -127,6 +147,47 @@ uint64_t SldService::flush() {
   if (fired)
     stats_->subs_notified.fetch_add(fired, std::memory_order_relaxed);
   return e;
+}
+
+uint64_t SldService::restore_publish(uint64_t epoch) {
+  EpochManager::Snap published;
+  {
+    std::lock_guard<std::mutex> lk(flush_mu_);
+    MutationQueue::Drained batch = queue_.drain();
+    if (!batch.empty()) {
+      stats_->flushes.fetch_add(1, std::memory_order_relaxed);
+      stats_->ops_applied.fetch_add(batch.size(), std::memory_order_relaxed);
+      stats_->bump_max_batch(batch.size());
+      router_.apply(batch);
+    }
+    EpochManager::Snap prev = epochs_.acquire();
+    // Force the epoch counter: replay republishes the exact historical
+    // sequence, and post-recovery flushes continue right after it.
+    next_epoch_ = epoch;
+    uint64_t e = next_epoch_++;
+    obs::EpochTrace seed;
+    seed.ops = batch.size();
+    published =
+        router_.build_snapshot(e, prev.get(), cfg_.capture_edges, seed);
+    epochs_.publish(published);
+    // No persist hooks: recovery attaches persistence after replay, so
+    // nothing here can re-log or re-checkpoint.
+  }
+  subs_.notify(published);
+  return epoch;
+}
+
+void SldService::attach_persistence(
+    std::unique_ptr<persist::PersistenceManager> pm) {
+  {
+    std::lock_guard<std::mutex> lk(flush_mu_);
+    persist_ = std::move(pm);
+    // The boot config cleared the options to keep replay silent; make
+    // config() truthful again.
+    cfg_.persist = persist_->options();
+  }
+  broker_->set_rehydrator(
+      [p = persist_.get()](uint64_t e) { return p->rehydrate(e); });
 }
 
 void SldService::start_writer() {

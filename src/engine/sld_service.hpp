@@ -59,6 +59,11 @@
 #include "engine/stats.hpp"
 #include "engine/subscription.hpp"
 #include "obs/export.hpp"
+#include "persist/options.hpp"
+
+namespace dynsld::persist {
+class PersistenceManager;  // persist/persist.hpp
+}
 
 namespace dynsld::engine {
 
@@ -79,6 +84,15 @@ struct ServiceConfig {
   /// Broker dispatcher micro-batch timer (liveness fallback + parked
   /// deadline sweep granularity; submits and publishes wake it sooner).
   std::chrono::microseconds broker_interval{200};
+  /// Superseded epochs kept alive in memory for AsOf{epoch} time
+  /// travel (0 = current epoch only; each retained epoch pins its
+  /// snapshot's memory).
+  size_t retain_epochs = 8;
+  /// Durability (persist/options.hpp): an empty dir disables the whole
+  /// persistence plane. A non-empty dir must not hold prior WAL or
+  /// checkpoint state — resume an existing directory through
+  /// persist::recover() instead.
+  persist::PersistOptions persist;
 };
 
 /// The serving engine's facade: thread-safe update enqueue + flush on
@@ -152,6 +166,14 @@ class SldService {
   /// read view.
   EpochManager::Snap snapshot() const { return epochs_.acquire(); }
 
+  /// The retained snapshot of exactly `epoch` — current epoch or one
+  /// still in the AsOf retention ring (cfg.retain_epochs). Null when
+  /// that epoch fell off the ring; AsOf{epoch} requests then fall back
+  /// to checkpoint rehydration before erroring (query.hpp).
+  EpochManager::Snap snapshot_at(uint64_t epoch) const {
+    return epochs_.at_epoch(epoch);
+  }
+
   /// Pin the current epoch as a ClusterView: the full query surface
   /// with per-threshold merge resolution cached across calls — the
   /// power-user pinned-epoch escape hatch (the broker is the default
@@ -209,6 +231,38 @@ class SldService {
       std::function<void(const std::string&)> emit,
       obs::StatsSink::Options opt = {}) const;
 
+  /// The observability bundle as the shared handle snapshots carry —
+  /// what persistence components take as their accounting sink.
+  std::shared_ptr<EngineObs> obs_shared() const { return obs_; }
+
+  // ---- recovery plumbing (persist/persist.hpp drives these) ----
+  // The restore_* surface re-enacts history through the NORMAL
+  // mutation/flush path — recovery produces a real, mutable engine
+  // whose state is bit-for-bit the pre-crash one, not a frozen replica.
+
+  /// Re-enqueue an insertion under its original ticket (no stats).
+  void restore_insert(ticket_t t, vertex_id u, vertex_id v, double w) {
+    queue_.restore_insert(t, u, v, w);
+  }
+  /// Re-enqueue an erase by original ticket (no stats).
+  void restore_erase(ticket_t t) { queue_.restore_erase(t); }
+  /// Raise the ticket counter to the checkpoint's floor.
+  void restore_ticket_floor(ticket_t floor) {
+    queue_.restore_ticket_floor(floor);
+  }
+  /// Drain + apply + publish exactly like flush(), but FORCE the
+  /// published epoch to `epoch` and publish even when the queue is
+  /// empty (replay must reproduce empty epochs too). Never logs to the
+  /// WAL — recovery attaches persistence only after replay completes.
+  uint64_t restore_publish(uint64_t epoch);
+  /// Hand the service its persistence plane (WAL hooks engage on the
+  /// next flush; the broker gains the checkpoint-rehydration tier).
+  /// Called by the constructor for fresh persisted services and by
+  /// persist::recover() after replay.
+  void attach_persistence(std::unique_ptr<persist::PersistenceManager> pm);
+  /// The attached persistence plane (null when not persisting).
+  persist::PersistenceManager* persistence() const { return persist_.get(); }
+
  private:
   void writer_loop();
   void nudge_writer();
@@ -224,6 +278,10 @@ class SldService {
   EpochManager epochs_;
   SubscriptionHub subs_;
   std::unique_ptr<QueryBroker> broker_;  // after subs_: dies first
+  // Durability plane (null when not persisting); safe to destroy
+  // before broker_ — the destructor joins the dispatcher (the only
+  // rehydration caller) before members die.
+  std::unique_ptr<persist::PersistenceManager> persist_;
   uint64_t next_epoch_ = 1;  // guarded by flush_mu_
   std::mutex flush_mu_;
 

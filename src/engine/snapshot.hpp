@@ -35,6 +35,10 @@
 #include "dynsld/dyn_sld.hpp"
 #include "graph/types.hpp"
 
+namespace dynsld::persist {
+struct SnapshotCodec;  // persist/checkpoint.hpp
+}
+
 namespace dynsld::engine {
 
 /// The frozen dendrogram of one shard at one epoch (see the header
@@ -120,6 +124,9 @@ class DendrogramSnapshot {
   uint64_t slot_count(int32_t s) const { return count_[s]; }
 
  private:
+  // The checkpoint byte codec rebuilds snapshots array-for-array
+  // (persist/checkpoint.hpp).
+  friend struct persist::SnapshotCodec;
   DendrogramSnapshot() = default;
 
   vertex_id n_ = 0;

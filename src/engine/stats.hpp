@@ -79,7 +79,19 @@ namespace dynsld::engine {
   X(broker_deadline_expired)  /* expired, never executed */               \
   X(broker_cancelled)         /* cancelled while queued */                \
   X(broker_shutdown_aborted)  /* resolved at shutdown */                  \
-  X(broker_max_depth)         /* queue-depth high-water */
+  X(broker_max_depth)         /* queue-depth high-water */                \
+  /* -- persistence (WAL + checkpoints + recovery + AsOf) -- */           \
+  X(wal_records)          /* epoch records appended */                    \
+  X(wal_bytes)            /* bytes appended (frames + payloads) */        \
+  X(wal_fsyncs)           /* syncs the policy issued */                   \
+  X(wal_segments)         /* segment files opened for append */           \
+  X(checkpoints_written)                                                  \
+  X(wal_segments_removed) /* compacted away */                            \
+  X(checkpoints_removed)  /* past the retention count */                  \
+  X(recovery_replayed)    /* WAL records replayed at recover() */         \
+  X(asof_retained)        /* AsOf served from the in-memory ring */       \
+  X(asof_rehydrated)      /* AsOf served from a checkpoint file */        \
+  X(asof_unavailable)     /* AsOf outside the retained history */
 
 /// The engine's counter block (shared by the service, its snapshots
 /// and the views built over them). Thread-safe: all counters are
@@ -196,6 +208,13 @@ struct EngineObs {
   obs::LatencyHistogram* broker_cycle;        // whole dispatch cycle
   // -- subscription plane --
   obs::LatencyHistogram* sub_refresh;         // SubscribedView::refresh()
+  // -- persistence (WAL append/fsync, checkpoint write, AsOf
+  //    rehydration, whole-directory recovery) --
+  obs::LatencyHistogram* persist_append;
+  obs::LatencyHistogram* persist_fsync;
+  obs::LatencyHistogram* persist_checkpoint;
+  obs::LatencyHistogram* persist_rehydrate;
+  obs::LatencyHistogram* persist_recover;
 
   /// Registers every EngineStats counter under "engine.<name>" and
   /// creates the histogram set. Gauges tied to a live service
@@ -218,6 +237,11 @@ struct EngineObs {
     broker_fulfill = registry.add_histogram("broker.fulfill");
     broker_cycle = registry.add_histogram("broker.cycle");
     sub_refresh = registry.add_histogram("sub.refresh");
+    persist_append = registry.add_histogram("persist.append");
+    persist_fsync = registry.add_histogram("persist.fsync");
+    persist_checkpoint = registry.add_histogram("persist.checkpoint");
+    persist_rehydrate = registry.add_histogram("persist.rehydrate");
+    persist_recover = registry.add_histogram("persist.recover");
   }
 
   /// Aliasing handle on the stats member: shares the bundle's lifetime,
@@ -282,6 +306,24 @@ inline void print_report(const EngineStats::Report& r, std::FILE* out = stdout) 
                  (unsigned long long)r.broker_deadline_expired,
                  (unsigned long long)r.broker_cancelled,
                  (unsigned long long)r.broker_shutdown_aborted);
+  if (r.wal_records || r.checkpoints_written || r.recovery_replayed ||
+      r.asof_retained || r.asof_rehydrated || r.asof_unavailable)
+    std::fprintf(out,
+                 "persistence: wal %llu records (%llu B, %llu fsyncs, %llu "
+                 "segments)  checkpoints %llu written / %llu removed  "
+                 "segments removed %llu  replayed %llu  asof %llu ring / "
+                 "%llu rehydrated / %llu unavailable\n",
+                 (unsigned long long)r.wal_records,
+                 (unsigned long long)r.wal_bytes,
+                 (unsigned long long)r.wal_fsyncs,
+                 (unsigned long long)r.wal_segments,
+                 (unsigned long long)r.checkpoints_written,
+                 (unsigned long long)r.checkpoints_removed,
+                 (unsigned long long)r.wal_segments_removed,
+                 (unsigned long long)r.recovery_replayed,
+                 (unsigned long long)r.asof_retained,
+                 (unsigned long long)r.asof_rehydrated,
+                 (unsigned long long)r.asof_unavailable);
 }
 
 }  // namespace dynsld::engine

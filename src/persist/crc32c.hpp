@@ -1,0 +1,48 @@
+// CRC32C (Castagnoli, polynomial 0x1EDC6F41) — the checksum guarding
+// every WAL record and checkpoint payload.
+//
+// Software, byte-at-a-time over a lazily built 256-entry table: ~1 B/
+// cycle, far below the record sizes where a slicing or SSE4.2 variant
+// would matter for this workload (appends are dominated by the fsync
+// policy, not the checksum). Chosen over plain CRC32 for its better
+// error-detection properties on short records and because it is the
+// conventional storage-stack checksum — tools/walctl.py implements the
+// same function so log directories are checkable without the binary.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace dynsld::persist {
+
+namespace detail {
+
+/// The 256-entry CRC32C lookup table, built once at compile time
+/// (reflected polynomial 0x82F63B78).
+inline constexpr std::array<uint32_t, 256> make_crc32c_table() {
+  std::array<uint32_t, 256> t{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k)
+      c = (c & 1) ? 0x82F63B78u ^ (c >> 1) : c >> 1;
+    t[i] = c;
+  }
+  return t;
+}
+
+inline constexpr std::array<uint32_t, 256> kCrc32cTable = make_crc32c_table();
+
+}  // namespace detail
+
+/// CRC32C of `len` bytes at `data`. `seed` chains incremental runs:
+/// crc32c(b, crc32c(a)) == crc32c(a ++ b). The empty input maps to 0.
+inline uint32_t crc32c(const void* data, size_t len, uint32_t seed = 0) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  uint32_t c = ~seed;
+  for (size_t i = 0; i < len; ++i)
+    c = detail::kCrc32cTable[(c ^ p[i]) & 0xffu] ^ (c >> 8);
+  return ~c;
+}
+
+}  // namespace dynsld::persist

@@ -1,0 +1,132 @@
+#include "persist/file_backend.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <system_error>
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
+namespace dynsld::persist {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/// fsync a stdio stream: flush the application buffer, then push the
+/// OS cache to stable storage. On platforms without fsync the flush is
+/// the best available.
+bool sync_stream(std::FILE* f) {
+  if (std::fflush(f) != 0) return false;
+#ifndef _WIN32
+  return ::fsync(::fileno(f)) == 0;
+#else
+  return true;
+#endif
+}
+
+class LocalFile final : public FileBackend::File {
+ public:
+  explicit LocalFile(std::FILE* f, uint64_t size) : f_(f), size_(size) {}
+  ~LocalFile() override {
+    if (f_) std::fclose(f_);
+  }
+
+  bool append(const void* data, size_t len) override {
+    if (!f_ || std::fwrite(data, 1, len, f_) != len) return false;
+    size_ += len;
+    return true;
+  }
+
+  bool sync() override { return f_ && sync_stream(f_); }
+
+  uint64_t size() const override { return size_; }
+
+ private:
+  std::FILE* f_;
+  uint64_t size_;
+};
+
+}  // namespace
+
+bool LocalFileBackend::mkdirs(const std::string& dir) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  return fs::is_directory(dir, ec);
+}
+
+std::vector<std::string> LocalFileBackend::list(const std::string& dir) {
+  std::vector<std::string> names;
+  std::error_code ec;
+  for (const auto& ent : fs::directory_iterator(dir, ec)) {
+    if (ent.is_regular_file(ec)) names.push_back(ent.path().filename().string());
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+std::unique_ptr<FileBackend::File> LocalFileBackend::open_append(
+    const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "ab");
+  if (!f) return nullptr;
+  std::error_code ec;
+  uint64_t size = fs::exists(path, ec) ? fs::file_size(path, ec) : 0;
+  return std::make_unique<LocalFile>(f, size);
+}
+
+bool LocalFileBackend::read_file(const std::string& path, std::string* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) return false;
+  out->clear();
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) out->append(buf, n);
+  bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  return ok;
+}
+
+bool LocalFileBackend::write_atomic(const std::string& path,
+                                    const std::string& bytes) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (!f) return false;
+  bool ok = std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size() &&
+            sync_stream(f);
+  ok = (std::fclose(f) == 0) && ok;
+  if (!ok) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  // POSIX rename atomicity: readers see the old file or the complete
+  // new one, never a prefix.
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool LocalFileBackend::remove(const std::string& path) {
+  std::error_code ec;
+  fs::remove(path, ec);
+  return !fs::exists(path, ec);
+}
+
+bool LocalFileBackend::truncate(const std::string& path, uint64_t size) {
+  std::error_code ec;
+  fs::resize_file(path, size, ec);
+  return !ec;
+}
+
+std::shared_ptr<FileBackend> local_backend() {
+  static std::shared_ptr<FileBackend> b =
+      std::make_shared<LocalFileBackend>();
+  return b;
+}
+
+}  // namespace dynsld::persist

@@ -1,0 +1,96 @@
+// FileBackend: the narrow filesystem seam under the durability
+// subsystem.
+//
+// Everything the WAL, checkpoints, and recovery touch on disk goes
+// through this interface — append to a log file, fsync it, read a
+// whole file, write-then-rename atomically, list/remove/truncate. Two
+// reasons for the indirection:
+//
+//   - crash injection: the persistence tests wrap the real backend in
+//     a fault injector that stops persisting bytes at a scheduled
+//     point (mid-record, mid-checkpoint, pre-fsync), simulating a
+//     power cut without killing the test process — recovery is then
+//     verified bit-for-bit against an uninterrupted reference run;
+//   - portability: the engine core stays header-pure C++; the one
+//     place that needs fsync/rename lives behind this seam (and a
+//     future remote/object-store backend slots in here).
+//
+// LocalFileBackend is the production implementation: buffered stdio
+// appends, fsync via fileno, atomic publication via write-to-temp +
+// rename (POSIX rename atomicity is what makes checkpoints all-or-
+// nothing — a torn checkpoint write leaves the previous one intact).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace dynsld::persist {
+
+/// Abstract filesystem operations of the durability subsystem (see the
+/// header comment). All paths are plain strings; directories use '/'.
+/// Implementations must be safe for use from one thread at a time per
+/// file — the engine serializes all persistence under its flush lock.
+class FileBackend {
+ public:
+  /// One open append-only file (a WAL segment being written).
+  class File {
+   public:
+    virtual ~File() = default;
+    /// Append `len` bytes; false on any I/O failure (a failed append
+    /// poisons the writer — see WalWriter).
+    virtual bool append(const void* data, size_t len) = 0;
+    /// Flush application + OS buffers to stable storage (fsync).
+    virtual bool sync() = 0;
+    /// Bytes successfully appended through this handle so far.
+    virtual uint64_t size() const = 0;
+  };
+
+  virtual ~FileBackend() = default;
+
+  /// Create `dir` (and parents) if missing; true when it exists after.
+  virtual bool mkdirs(const std::string& dir) = 0;
+  /// Names (not paths) of regular files directly under `dir`, sorted
+  /// ascending; empty for a missing directory.
+  virtual std::vector<std::string> list(const std::string& dir) = 0;
+  /// Open `path` for appending (created if missing); null on failure.
+  virtual std::unique_ptr<File> open_append(const std::string& path) = 0;
+  /// Read the whole file into *out; false when unreadable.
+  virtual bool read_file(const std::string& path, std::string* out) = 0;
+  /// Atomically publish `bytes` at `path`: write a temp file in the
+  /// same directory, fsync it, rename over `path`. Either the old
+  /// content or the complete new content is visible, never a prefix.
+  virtual bool write_atomic(const std::string& path,
+                            const std::string& bytes) = 0;
+  /// Delete a file; true if it no longer exists.
+  virtual bool remove(const std::string& path) = 0;
+  /// Truncate a file to `size` bytes (the torn-tail repair primitive).
+  virtual bool truncate(const std::string& path, uint64_t size) = 0;
+};
+
+/// The POSIX/stdio implementation used outside tests.
+class LocalFileBackend : public FileBackend {
+ public:
+  /// See FileBackend::mkdirs.
+  bool mkdirs(const std::string& dir) override;
+  /// See FileBackend::list.
+  std::vector<std::string> list(const std::string& dir) override;
+  /// See FileBackend::open_append.
+  std::unique_ptr<File> open_append(const std::string& path) override;
+  /// See FileBackend::read_file.
+  bool read_file(const std::string& path, std::string* out) override;
+  /// See FileBackend::write_atomic.
+  bool write_atomic(const std::string& path,
+                    const std::string& bytes) override;
+  /// See FileBackend::remove.
+  bool remove(const std::string& path) override;
+  /// See FileBackend::truncate.
+  bool truncate(const std::string& path, uint64_t size) override;
+};
+
+/// Process-wide shared LocalFileBackend (the default when a service is
+/// constructed with persistence and no explicit backend).
+std::shared_ptr<FileBackend> local_backend();
+
+}  // namespace dynsld::persist

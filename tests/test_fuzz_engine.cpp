@@ -30,12 +30,16 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <cstdlib>
+#include <filesystem>
 #include <iterator>
+#include <map>
 #include <optional>
 #include <string>
 #include <thread>
+#include <tuple>
 #include <vector>
 
 #include "engine/cluster_view.hpp"
@@ -43,6 +47,7 @@
 #include "engine/sld_service.hpp"
 #include "engine/subscription.hpp"
 #include "parallel/random.hpp"
+#include "persist/persist.hpp"
 #include "test_util.hpp"
 
 namespace dynsld::engine {
@@ -424,6 +429,100 @@ TEST(FuzzEngine, ConcurrentNotifyRefreshVsReaderBatches) {
   EXPECT_GT(notifies.load(), 0u);
   EXPECT_GT(svc.stats().sub_refreshes, 0u);
   sub.reset();  // unregister before the service dies
+}
+
+// The durability cross-check: run scenario schedules against a
+// PERSISTED service, then recover the directory and demand that every
+// republished epoch fingerprints identically to the live run — flat
+// labels as exact vector equality at multiple thresholds. This rides
+// the same workload generators as the differential harness, so the
+// recovery path sees uneven shards and all-cross churn, not just the
+// tailored workloads in test_persist.cpp.
+TEST(FuzzEngine, RecoverAndDiffReplaysSchedulesBitForBit) {
+  namespace fs = std::filesystem;
+  const double taus[2] = {0.25, 0.7};
+  int trial = 0;
+  for (const Scenario& sc : {kScenarios[0], kScenarios[3]}) {
+    for (uint64_t seed : {11u, 12u, 13u}) {
+      SCOPED_TRACE(std::string("scenario=") + sc.name +
+                   " seed=" + std::to_string(seed));
+      const fs::path dir =
+          fs::temp_directory_path() /
+          ("dynsld_fuzz_recover_" + std::to_string(trial++));
+      fs::remove_all(dir);
+      fs::create_directories(dir);
+
+      ServiceConfig cfg;
+      cfg.num_vertices = sc.n;
+      cfg.num_shards = sc.shards;
+      cfg.capture_edges = true;
+      cfg.retain_epochs = 256;  // recovered ring holds the whole replay
+      cfg.persist.dir = dir.string();
+      cfg.persist.checkpoint_every = 3;
+
+      // Per-epoch label fingerprints of the live run. Weights are
+      // drawn DISTINCT (injective index map modulo a prime) — ties
+      // would make the dendrogram non-unique and the bit-for-bit
+      // comparison ill-posed.
+      std::map<uint64_t, std::array<std::vector<vertex_id>, 2>> fps;
+      {
+        SldService svc(cfg);
+        const ShardMap map = svc.snapshot()->shard_map();
+        par::Rng rng(seed);
+        uint64_t widx = 0;
+        auto next_weight = [&] {
+          return static_cast<double>((widx++ * 2654435761ull + seed) %
+                                     999983ull) /
+                 999983.0;
+        };
+        std::vector<LiveEdge> live;
+        for (int step = 0; step < sc.steps; ++step) {
+          if (!live.empty() && rng.next_double() < sc.erase_prob) {
+            size_t j = rng.next_bounded(live.size());
+            if (rng.next_double() < 0.5)
+              svc.erase(live[j].ticket);
+            else
+              EXPECT_TRUE(svc.erase(live[j].u, live[j].v));
+            live[j] = live.back();
+            live.pop_back();
+          } else {
+            vertex_id u, v;
+            if (rng.next_double() < sc.cross_frac && sc.shards > 1) {
+              do {
+                u = static_cast<vertex_id>(rng.next_bounded(sc.n));
+                v = static_cast<vertex_id>(rng.next_bounded(sc.n));
+              } while (u == v || map.home(u) == map.home(v));
+            } else {
+              std::tie(u, v) = test::random_distinct_pair(rng, sc.n);
+            }
+            live.push_back(LiveEdge{svc.insert(u, v, next_weight()), u, v});
+          }
+          if (step % sc.flush_every != sc.flush_every - 1) continue;
+          uint64_t before = svc.epoch();
+          uint64_t e = svc.flush();
+          if (e == before) continue;  // empty batch: no epoch published
+          auto snap = svc.snapshot();
+          fps[e] = {snap->flat_clustering(taus[0]),
+                    snap->flat_clustering(taus[1])};
+        }
+      }  // destructor = clean shutdown; the directory is the survivor
+
+      ASSERT_FALSE(fps.empty());
+      auto res = persist::recover(cfg);
+      ASSERT_TRUE(res.service);
+      EXPECT_EQ(res.tip_epoch, fps.rbegin()->first);
+      for (const auto& [e, labels] : fps) {
+        if (e < res.checkpoint_epoch) continue;  // below the replay base
+        SCOPED_TRACE("epoch=" + std::to_string(e));
+        auto snap = res.service->snapshot_at(e);
+        ASSERT_TRUE(snap);
+        EXPECT_EQ(snap->flat_clustering(taus[0]), labels[0]);
+        EXPECT_EQ(snap->flat_clustering(taus[1]), labels[1]);
+      }
+      res.service.reset();
+      fs::remove_all(dir);
+    }
+  }
 }
 
 }  // namespace

@@ -34,7 +34,7 @@ import sys
 
 ROOT = pathlib.Path(__file__).resolve().parent.parent
 
-HEADER_GLOBS = ["src/engine/*.hpp", "src/obs/*.hpp"]
+HEADER_GLOBS = ["src/engine/*.hpp", "src/obs/*.hpp", "src/persist/*.hpp"]
 DOC_FILES = ["README.md", "docs/*.md"]
 
 EXEMPT_DECL = re.compile(r"=\s*(default|delete)\s*;")
