@@ -29,8 +29,54 @@ class Dendrogram {
     bool alive = false;
   };
 
+  /// Structural-change journal: when enabled, every node add/remove and
+  /// parent-pointer change since the last clear is recorded so that an
+  /// incremental snapshot builder can patch the previous epoch's arrays
+  /// instead of rebuilding them. Entries are raw (not deduplicated): a
+  /// node may appear several times and in several lists; consumers
+  /// reconcile against the current dendrogram state. Once `touched()`
+  /// exceeds the configured cap the journal marks itself overflowed and
+  /// drops its contents — the batch clearly touched too much for a patch
+  /// to beat a rebuild, so there is no point paying for the log.
+  struct Journal {
+    struct Removed {
+      edge_id e;
+      vertex_id u, v;  // endpoints at removal time (node is dead now)
+    };
+    bool enabled = false;
+    bool overflowed = false;
+    size_t cap = 0;
+    std::vector<edge_id> added;
+    std::vector<Removed> removed;
+    std::vector<edge_id> parent_changed;
+
+    size_t touched() const {
+      return added.size() + removed.size() + parent_changed.size();
+    }
+    void clear() {
+      overflowed = false;
+      added.clear();
+      removed.clear();
+      parent_changed.clear();
+    }
+  };
+
   Dendrogram() = default;
   explicit Dendrogram(size_t capacity) : nodes_(capacity) {}
+
+  /// Start journaling structural changes, dropping the log whenever more
+  /// than `cap` raw entries accumulate between clears.
+  void enable_journal(size_t cap) {
+    journal_.enabled = true;
+    journal_.cap = cap;
+    journal_.clear();
+  }
+
+  /// The journal since the last clear (meaningful only when enabled).
+  const Journal& journal() const { return journal_; }
+
+  /// Reset the journal at a consumption point (e.g. after a snapshot).
+  void clear_journal() { journal_.clear(); }
 
   size_t capacity() const { return nodes_.size(); }
   size_t size() const { return num_alive_; }
@@ -63,6 +109,10 @@ class Dendrogram {
     nd.weight = e.weight;
     nd.alive = true;
     ++num_alive_;
+    if (journal_.enabled && !journal_.overflowed) {
+      journal_.added.push_back(e.id);
+      journal_overflow_check();
+    }
   }
 
   /// Remove a node. The caller must have already detached it (no parent,
@@ -72,6 +122,10 @@ class Dendrogram {
     assert(nd.alive);
     assert(nd.parent == kNoEdge);
     assert(nd.child[0] == kNoEdge && nd.child[1] == kNoEdge);
+    if (journal_.enabled && !journal_.overflowed) {
+      journal_.removed.push_back({e, nd.u, nd.v});
+      journal_overflow_check();
+    }
     nd.alive = false;
     --num_alive_;
   }
@@ -82,6 +136,10 @@ class Dendrogram {
     Node& nd = nodes_[e];
     assert(nd.alive);
     if (nd.parent == p) return;
+    if (journal_.enabled && !journal_.overflowed) {
+      journal_.parent_changed.push_back(e);
+      journal_overflow_check();
+    }
     if (nd.parent != kNoEdge) detach_child(nd.parent, e);
     nd.parent = p;
     if (p != kNoEdge) attach_child(p, e);
@@ -95,6 +153,16 @@ class Dendrogram {
   /// node three children. Duplicate entries must agree on the target.
   void apply_parent_changes(
       std::span<const std::pair<edge_id, edge_id>> changes) {
+    if (journal_.enabled && !journal_.overflowed) {
+      // Record before mutating: after phase 1 the old parents are gone,
+      // so the no-op filter (parent already == target) must run now.
+      for (const auto& [c, p] : changes) {
+        if (nodes_[c].parent == p) continue;
+        journal_.parent_changed.push_back(c);
+        journal_overflow_check();
+        if (journal_.overflowed) break;
+      }
+    }
     for (const auto& [c, p] : changes) {
       Node& nd = nodes_[c];
       assert(nd.alive);
@@ -199,8 +267,19 @@ class Dendrogram {
     }
   }
 
+  void journal_overflow_check() {
+    if (journal_.touched() <= journal_.cap) return;
+    // Keep the flag but drop the payload: an overflowed journal only
+    // ever answers "patching is not viable".
+    journal_.overflowed = true;
+    journal_.added.clear();
+    journal_.removed.clear();
+    journal_.parent_changed.clear();
+  }
+
   std::vector<Node> nodes_;
   size_t num_alive_ = 0;
+  Journal journal_;
 };
 
 }  // namespace dynsld

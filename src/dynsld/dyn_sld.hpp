@@ -157,6 +157,20 @@ class DynSLD {
   /// e*_v for every vertex in one pass (kNoEdge where isolated). O(n).
   std::vector<edge_id> min_incident_all() const;
 
+  /// Enable the dendrogram's structural-change journal (see
+  /// Dendrogram::Journal): records node adds/removes/re-parentings so an
+  /// incremental snapshot builder can patch instead of rebuild. `cap`
+  /// bounds raw entries between clears; past it the journal overflows.
+  void enable_structure_journal(size_t cap) { dendro_.enable_journal(cap); }
+
+  /// The structural-change journal accumulated since the last clear.
+  const Dendrogram::Journal& structure_journal() const {
+    return dendro_.journal();
+  }
+
+  /// Reset the structural-change journal (after consuming it).
+  void clear_structure_journal() { dendro_.clear_journal(); }
+
   /// Ephemeral component representative of v's tree in the input forest:
   /// equal ids iff connected. Valid only until the next update (the
   /// underlying link-cut tree re-roots on access). Used by the batch

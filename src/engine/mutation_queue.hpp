@@ -135,12 +135,11 @@ class MutationQueue {
     std::lock_guard<std::mutex> lk(mu_);
     auto it = by_endpoints_.find(endpoint_key(u, v));
     if (it == by_endpoints_.end()) {
-      // Count the miss like a duplicate ticket-erase so erase traffic
-      // stays comparable across the two front-ends.
-      if (stats_) {
-        stats_->erases_enqueued.fetch_add(1, std::memory_order_relaxed);
-        stats_->duplicate_erases.fetch_add(1, std::memory_order_relaxed);
-      }
+      // Nothing was enqueued, so neither erases_enqueued (an accepted
+      // erase) nor duplicate_erases (a repeated ticket) applies; misses
+      // get their own counter.
+      if (stats_)
+        stats_->erase_ledger_misses.fetch_add(1, std::memory_order_relaxed);
       return false;
     }
     erase_locked(it->second.back());

@@ -8,11 +8,12 @@
 namespace dynsld::engine {
 
 ShardRouter::ShardRouter(vertex_id n, int num_shards, SpineIndex index,
-                         std::shared_ptr<EngineObs> obs)
+                         std::shared_ptr<EngineObs> obs, bool incremental)
     : map_(ShardMap::make(n, num_shards)),
       obs_(std::move(obs)),
       stats_(EngineObs::stats_handle(obs_)) {
   shards_.reserve(map_.num_shards);
+  contraction_.reserve(map_.num_shards);
   for (int k = 0; k < map_.num_shards; ++k) {
     // Shard-local vertex space: size each clustering to the shard's own
     // range (min 1 — trailing shards can own an empty range and never
@@ -20,6 +21,7 @@ ShardRouter::ShardRouter(vertex_id n, int num_shards, SpineIndex index,
     vertex_id local_n = map_.local_size(k);
     shards_.push_back(
         std::make_unique<DynamicClustering>(local_n ? local_n : 1, index));
+    contraction_.emplace_back(incremental);
   }
   dirty_.assign(map_.num_shards, 0);
   cross_view_ = std::make_shared<CrossEdgeView>(std::vector<CrossEdgeView::Edge>{});
@@ -138,11 +140,14 @@ std::shared_ptr<const EngineSnapshot> ShardRouter::build_snapshot(
   delta_cross_min_w_ = std::numeric_limits<double>::infinity();
 
   uint64_t built = 0, reused = 0;
+  std::vector<ShardContraction::PatchStats> patch_stats(shards_.size());
+  snap->delta_.shard_patch.assign(shards_.size(), {});
   {
     // The stage span covers all rebuilds of the epoch; each rebuilt
     // shard additionally records its own build into flush.shard_build
-    // from inside the parallel loop (per-thread histogram shards make
-    // that wait-free even when every worker lands at once).
+    // (or flush.shard_patch when the incremental builder patched) from
+    // inside the parallel loop (per-thread histogram shards make that
+    // wait-free even when every worker lands at once).
     obs::ScopedSpan shards_span(ring, "flush.shards", epoch,
                                 obs_ ? obs_->flush_shards : nullptr);
     par::parallel_for(
@@ -152,16 +157,41 @@ std::shared_ptr<const EngineSnapshot> ShardRouter::build_snapshot(
             snap->shards_[k] = prev->shards_[k];
           } else {
             uint64_t b0 = obs::now_ns();
-            snap->shards_[k] = DendrogramSnapshot::build(
-                shards_[k]->sld(), map_.base(static_cast<int>(k)));
-            if (obs_) obs_->flush_shard_build->record(obs::now_ns() - b0);
+            snap->shards_[k] = contraction_[k].advance(
+                shards_[k]->sld(), map_.base(static_cast<int>(k)),
+                prev ? prev->shards_[k].get() : nullptr, patch_stats[k]);
+            uint64_t dt = obs::now_ns() - b0;
+            if (obs_)
+              (patch_stats[k].patched ? obs_->flush_shard_patch
+                                      : obs_->flush_shard_build)
+                  ->record(dt);
           }
         },
         /*grain=*/1);
     seed.shards_ns = shards_span.stop();
   }
+  uint64_t patched = 0, fallbacks = 0;
+  uint64_t rounds_total = 0, rounds_rerun = 0, nodes_patched = 0;
   for (size_t k = 0; k < shards_.size(); ++k) {
-    (prev && !dirty_[k]) ? ++reused : ++built;
+    if (prev && !dirty_[k]) {
+      ++reused;
+    } else {
+      ++built;
+      const ShardContraction::PatchStats& ps = patch_stats[k];
+      EpochDelta::ShardPatch& sp = snap->delta_.shard_patch[k];
+      sp.mode = ps.patched ? 1 : 0;
+      sp.fallback = ps.fallback ? 1 : 0;
+      sp.rounds_total = ps.rounds_total;
+      sp.rounds_rerun = ps.rounds_rerun;
+      sp.nodes_patched = ps.nodes_patched;
+      if (ps.patched) {
+        ++patched;
+        rounds_total += ps.rounds_total;
+        rounds_rerun += ps.rounds_rerun;
+        nodes_patched += ps.nodes_patched;
+      }
+      if (ps.fallback) ++fallbacks;
+    }
     dirty_[k] = 0;
   }
 
@@ -206,6 +236,16 @@ std::shared_ptr<const EngineSnapshot> ShardRouter::build_snapshot(
     stats_->snapshot_build_ns.fetch_add(ns, std::memory_order_relaxed);
     stats_->shard_snapshots_built.fetch_add(built, std::memory_order_relaxed);
     stats_->shard_snapshots_reused.fetch_add(reused, std::memory_order_relaxed);
+    stats_->shard_snapshots_patched.fetch_add(patched,
+                                              std::memory_order_relaxed);
+    stats_->shard_patch_fallbacks.fetch_add(fallbacks,
+                                            std::memory_order_relaxed);
+    stats_->contraction_rounds_total.fetch_add(rounds_total,
+                                               std::memory_order_relaxed);
+    stats_->contraction_rounds_rerun.fetch_add(rounds_rerun,
+                                               std::memory_order_relaxed);
+    stats_->contraction_nodes_patched.fetch_add(nodes_patched,
+                                                std::memory_order_relaxed);
     stats_->epochs_published.fetch_add(1, std::memory_order_relaxed);
   }
   return snap;

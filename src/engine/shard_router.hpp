@@ -28,6 +28,7 @@
 #include <memory>
 #include <vector>
 
+#include "engine/contraction.hpp"
 #include "engine/epoch.hpp"
 #include "engine/mutation_queue.hpp"
 #include "engine/stats.hpp"
@@ -45,8 +46,13 @@ class ShardRouter {
   /// `obs` (nullable in unit contexts) is the owning service's
   /// observability bundle: counters are bumped through its stats block
   /// and snapshot builds record stage timings into its histograms.
+  /// `incremental` arms the per-shard incremental snapshot builders
+  /// (ShardContraction): dirty shards patch the previous epoch's
+  /// arrays copy-on-write when the batch's structural footprint is
+  /// small; off, every dirty shard rebuilds from scratch (the baseline
+  /// the benchmark and the fuzz twin-service compare against).
   ShardRouter(vertex_id n, int num_shards, SpineIndex index,
-              std::shared_ptr<EngineObs> obs);
+              std::shared_ptr<EngineObs> obs, bool incremental = true);
 
   const ShardMap& shard_map() const { return map_; }
   int num_shards() const { return map_.num_shards; }
@@ -88,6 +94,9 @@ class ShardRouter {
 
   ShardMap map_;
   std::vector<std::unique_ptr<DynamicClustering>> shards_;
+  // Per-shard incremental snapshot builders (retained contraction-round
+  // state; contraction.hpp), 1:1 with shards_.
+  std::vector<ShardContraction> contraction_;
   std::vector<char> dirty_;
   // Cross-shard edge table (mutable side; CrossEdgeView is the frozen one).
   struct CrossSlot {

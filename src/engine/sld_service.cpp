@@ -11,7 +11,8 @@ SldService::SldService(const ServiceConfig& cfg)
       obs_(std::make_shared<EngineObs>()),
       stats_(EngineObs::stats_handle(obs_)),
       queue_(stats_.get()),
-      router_(cfg.num_vertices, cfg.num_shards, cfg.index, obs_) {
+      router_(cfg.num_vertices, cfg.num_shards, cfg.index, obs_,
+              cfg.incremental_snapshots) {
   // Live gauges: point-in-time reads of the running service, cleared in
   // the destructor (the registry itself may outlive us via snapshots).
   obs_->registry.add_gauge("engine.epoch", [this] { return epoch(); });
@@ -101,7 +102,10 @@ uint64_t SldService::flush() {
     MutationQueue::Drained batch = queue_.drain();
     if (batch.empty()) {
       // Nothing flushed: no epoch, no spans (an idle-timer wakeup is
-      // not a pipeline stage).
+      // not a pipeline stage). But an interval fsync policy still owes
+      // its deadline: a burst followed by silence must not leave the
+      // WAL tail unsynced past the configured bound.
+      if (persist_) persist_->sync_if_due();
       drain_span.cancel();
       total_span.cancel();
       return epochs_.cur_epoch();
@@ -220,7 +224,17 @@ void SldService::writer_loop() {
       return stop_ || queue_.pending() >= cfg_.flush_threshold;
     });
     if (stop_) break;
-    if (queue_.pending() == 0) continue;
+    if (queue_.pending() == 0) {
+      // Idle tick: honor the WAL's interval-fsync deadline even though
+      // no append will run it (wal.cpp only checks inside append()).
+      lk.unlock();
+      {
+        std::lock_guard<std::mutex> flk(flush_mu_);
+        if (persist_) persist_->sync_if_due();
+      }
+      lk.lock();
+      continue;
+    }
     lk.unlock();
     flush();
     lk.lock();

@@ -78,6 +78,12 @@ struct ServiceConfig {
   std::chrono::microseconds flush_interval{200};
   /// Epoch snapshots carry their full edge set (verification mode).
   bool capture_edges = false;
+  /// Dirty-shard snapshots patch the previous epoch's arrays
+  /// copy-on-write when the batch's structural footprint is small
+  /// (retained contraction-round state; engine/contraction.hpp). Off:
+  /// every dirty shard rebuilds from scratch — the comparison baseline;
+  /// either way the published snapshots are bit-identical.
+  bool incremental_snapshots = true;
   /// Broker admission control: submits beyond this many in-flight
   /// requests are rejected with QueryError{kAdmissionRejected}.
   size_t broker_queue_depth = 4096;

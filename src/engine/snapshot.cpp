@@ -3,12 +3,17 @@
 #include <algorithm>
 #include <cassert>
 #include <map>
-#include <numeric>
+#include <cstring>
 
 namespace dynsld::engine {
 
 std::shared_ptr<const DendrogramSnapshot> DendrogramSnapshot::build(
     const DynSLD& sld, vertex_id base) {
+  return build(sld, base, nullptr);
+}
+
+std::shared_ptr<const DendrogramSnapshot> DendrogramSnapshot::build(
+    const DynSLD& sld, vertex_id base, std::vector<edge_id>* ids_out) {
   auto snap = std::shared_ptr<DendrogramSnapshot>(new DendrogramSnapshot());
   DendrogramSnapshot& s = *snap;
   const Dendrogram& d = sld.dendrogram();
@@ -40,50 +45,16 @@ std::shared_ptr<const DendrogramSnapshot> DendrogramSnapshot::build(
     assert(s.parent_[i] == kNoSlot || s.parent_[i] > static_cast<int32_t>(i));
   }
 
-  // Child CSR from the parent array (counting sort by parent).
-  s.child_off_.assign(m + 1, 0);
-  for (size_t i = 0; i < m; ++i) {
-    if (s.parent_[i] != kNoSlot) ++s.child_off_[s.parent_[i] + 1];
-  }
-  std::partial_sum(s.child_off_.begin(), s.child_off_.end(),
-                   s.child_off_.begin());
-  s.child_list_.resize(m ? s.child_off_[m] : 0);
-  {
-    std::vector<uint32_t> cursor(s.child_off_.begin(), s.child_off_.end() - 1);
-    for (size_t i = 0; i < m; ++i) {
-      if (s.parent_[i] != kNoSlot)
-        s.child_list_[cursor[s.parent_[i]]++] = static_cast<uint32_t>(i);
-    }
-  }
-
-  // Leaf lists: vertex v hangs off the node of e*_v.
+  // Leaf hooks: vertex v hangs off the node of e*_v.
   std::vector<edge_id> estar = sld.min_incident_all();
   s.leaf_parent_.resize(s.n_);
-  s.leaf_off_.assign(m + 1, 0);
-  for (vertex_id v = 0; v < s.n_; ++v) {
+  for (vertex_id v = 0; v < s.n_; ++v)
     s.leaf_parent_[v] = estar[v] == kNoEdge ? kNoSlot : slot_of[estar[v]];
-    if (s.leaf_parent_[v] != kNoSlot) ++s.leaf_off_[s.leaf_parent_[v] + 1];
-  }
-  std::partial_sum(s.leaf_off_.begin(), s.leaf_off_.end(), s.leaf_off_.begin());
-  s.leaf_list_.resize(m ? s.leaf_off_[m] : 0);
-  {
-    std::vector<uint32_t> cursor(s.leaf_off_.begin(), s.leaf_off_.end() - 1);
-    for (vertex_id v = 0; v < s.n_; ++v) {
-      if (s.leaf_parent_[v] != kNoSlot) s.leaf_list_[cursor[s.leaf_parent_[v]]++] = v;
-    }
-  }
 
-  // Subtree vertex counts: one ascending pass (parent slot > child slot).
-  s.count_.resize(m);
-  for (size_t i = 0; i < m; ++i)
-    s.count_[i] = s.leaf_off_[i + 1] - s.leaf_off_[i];
-  for (size_t i = 0; i < m; ++i) {
-    if (s.parent_[i] != kNoSlot) s.count_[s.parent_[i]] += s.count_[i];
-  }
+  s.derive_csr_and_counts();
 
   // Binary lifting over parent pointers.
-  s.levels_ = 1;
-  while ((size_t{1} << s.levels_) < m + 1) ++s.levels_;
+  s.levels_ = s.compute_levels();
   s.up_.assign(static_cast<size_t>(s.levels_) * m, kNoSlot);
   if (m) {
     std::copy(s.parent_.begin(), s.parent_.end(), s.up_.begin());
@@ -94,7 +65,84 @@ std::shared_ptr<const DendrogramSnapshot> DendrogramSnapshot::build(
       }
     }
   }
+  if (ids_out) *ids_out = std::move(ids);
   return snap;
+}
+
+int DendrogramSnapshot::compute_levels() const {
+  // Sizing the table by the real maximum depth rather than log2(m)
+  // keeps it small on the shallow dendrograms random weights produce;
+  // a degenerate sorted-weight chain degrades back to log2(m) rounds.
+  // Parents occupy larger slots, so a descending pass sees every
+  // parent's depth before its children need it.
+  const size_t m = parent_.size();
+  std::vector<uint32_t> depth(m, 0);
+  uint32_t maxd = 0;
+  for (size_t i = m; i-- > 0;) {
+    const int32_t p = parent_[i];
+    if (p != kNoSlot) depth[i] = depth[p] + 1;
+    if (depth[i] > maxd) maxd = depth[i];
+  }
+  return levels_for_depth(maxd);
+}
+
+void DendrogramSnapshot::derive_csr_and_counts() {
+  const size_t m = parent_.size();
+
+  // Child CSR from the parent array (counting sort by parent). Counts
+  // land at index p, an in-place exclusive scan turns them into start
+  // cursors, the fill advances the cursors into end offsets, and one
+  // shift re-bases them — no separate cursor array.
+  child_off_.assign(m + 1, 0);
+  for (size_t i = 0; i < m; ++i) {
+    if (parent_[i] != kNoSlot) ++child_off_[parent_[i]];
+  }
+  uint32_t sum = 0;
+  for (size_t p = 0; p <= m; ++p) {
+    const uint32_t c = child_off_[p];
+    child_off_[p] = sum;
+    sum += c;
+  }
+  child_list_.resize(sum);
+  for (size_t i = 0; i < m; ++i) {
+    if (parent_[i] != kNoSlot)
+      child_list_[child_off_[parent_[i]]++] = static_cast<uint32_t>(i);
+  }
+  if (m)
+    std::memmove(child_off_.data() + 1, child_off_.data(),
+                 m * sizeof(uint32_t));
+  child_off_[0] = 0;
+
+  // Leaf CSR from the per-vertex hooks, same scheme.
+  leaf_off_.assign(m + 1, 0);
+  for (vertex_id v = 0; v < n_; ++v) {
+    if (leaf_parent_[v] != kNoSlot) ++leaf_off_[leaf_parent_[v]];
+  }
+  sum = 0;
+  for (size_t p = 0; p <= m; ++p) {
+    const uint32_t c = leaf_off_[p];
+    leaf_off_[p] = sum;
+    sum += c;
+  }
+  leaf_list_.resize(sum);
+  for (vertex_id v = 0; v < n_; ++v) {
+    if (leaf_parent_[v] != kNoSlot) leaf_list_[leaf_off_[leaf_parent_[v]]++] = v;
+  }
+  if (m)
+    std::memmove(leaf_off_.data() + 1, leaf_off_.data(), m * sizeof(uint32_t));
+  leaf_off_[0] = 0;
+
+  derive_counts();
+}
+
+void DendrogramSnapshot::derive_counts() {
+  // Subtree vertex counts: one ascending pass (parent slot > child slot).
+  const size_t m = parent_.size();
+  count_.resize(m);
+  for (size_t i = 0; i < m; ++i) count_[i] = leaf_off_[i + 1] - leaf_off_[i];
+  for (size_t i = 0; i < m; ++i) {
+    if (parent_[i] != kNoSlot) count_[parent_[i]] += count_[i];
+  }
 }
 
 int32_t DendrogramSnapshot::top_of(vertex_id v, double tau) const {

@@ -58,6 +58,13 @@ class DendrogramSnapshot {
   static std::shared_ptr<const DendrogramSnapshot> build(const DynSLD& sld,
                                                          vertex_id base = 0);
 
+  /// Same, but also exports the slot -> edge-id mapping the build chose
+  /// (ascending rank order). The incremental builder (ShardContraction)
+  /// retains it to translate the dendrogram's structural-change journal
+  /// into slot-space patches on the next epoch.
+  static std::shared_ptr<const DendrogramSnapshot> build(
+      const DynSLD& sld, vertex_id base, std::vector<edge_id>* ids_out);
+
   /// Local vertex count (the shard's range size, not the global n).
   vertex_id num_vertices() const { return n_; }
   /// Global id of local vertex 0.
@@ -125,9 +132,38 @@ class DendrogramSnapshot {
 
  private:
   // The checkpoint byte codec rebuilds snapshots array-for-array
-  // (persist/checkpoint.hpp).
+  // (persist/checkpoint.hpp); the incremental builder patches a copy of
+  // the arrays instead of rebuilding them (engine/contraction.hpp).
   friend struct persist::SnapshotCodec;
+  friend class ShardContraction;
   DendrogramSnapshot() = default;
+
+  /// Derive child CSR, leaf CSR and subtree counts from parent_ and
+  /// leaf_parent_ (already filled). Shared by the fresh build and the
+  /// incremental patch so derived arrays are bit-identical between the
+  /// two paths by construction.
+  void derive_csr_and_counts();
+
+  /// The counts tail of derive_csr_and_counts (subtree vertex counts
+  /// from leaf_off_ and parent_), split out so the incremental patch —
+  /// which delta-patches the CSR arrays instead of re-deriving them —
+  /// still computes counts through the exact shared code.
+  void derive_counts();
+
+  /// Level count for the binary-lifting table: enough rounds to cover
+  /// the deepest root-to-node chain (2^levels - 1 hops), computed from
+  /// parent_. Shared by the fresh build and the incremental patch so
+  /// the table shape is identical between the two paths.
+  int compute_levels() const;
+
+  /// Rounds needed to cover chains of `maxd` hops (2^levels - 1 >=
+  /// maxd). The patch path folds the depth computation into a pass it
+  /// already makes, then sizes the table through this same formula.
+  static int levels_for_depth(uint32_t maxd) {
+    int lv = 1;
+    while ((uint32_t{1} << lv) < maxd + 1) ++lv;
+    return lv;
+  }
 
   vertex_id n_ = 0;
   vertex_id base_ = 0;

@@ -32,6 +32,7 @@ namespace dynsld::engine {
   X(erases_enqueued)                                                      \
   X(coalesced_pairs)      /* insert+erase annihilated */                  \
   X(duplicate_erases)     /* dropped in the queue */                      \
+  X(erase_ledger_misses)  /* endpoint erase with no live ledger entry */  \
   X(invalid_erases)       /* unknown/dead ticket at apply */              \
   /* -- flush path -- */                                                  \
   X(flushes)              /* non-empty batch applications */              \
@@ -42,8 +43,13 @@ namespace dynsld::engine {
   /* -- epochs -- */                                                      \
   X(epochs_published)                                                     \
   X(snapshot_build_ns)                                                    \
-  X(shard_snapshots_built)                                                \
+  X(shard_snapshots_built)   /* materialized fresh or by patching */      \
   X(shard_snapshots_reused)                                               \
+  X(shard_snapshots_patched) /* built by COW-patching the prev arrays */  \
+  X(shard_patch_fallbacks)   /* patch gate failed at materialization */   \
+  X(contraction_rounds_total)  /* lifting rounds across patched builds */ \
+  X(contraction_rounds_rerun)  /* rounds recomputed (not row-copied) */   \
+  X(contraction_nodes_patched) /* per-round node entries recomputed */    \
   /* -- query front-end -- */                                             \
   X(q_same_cluster)                                                       \
   X(q_cluster_size)                                                       \
@@ -195,6 +201,7 @@ struct EngineObs {
   obs::LatencyHistogram* flush_drain;
   obs::LatencyHistogram* flush_apply;
   obs::LatencyHistogram* flush_shard_build;  // one record per rebuilt shard
+  obs::LatencyHistogram* flush_shard_patch;  // one record per patched shard
   obs::LatencyHistogram* flush_shards;       // all rebuilds of one epoch
   obs::LatencyHistogram* flush_cross;
   obs::LatencyHistogram* flush_publish;
@@ -226,6 +233,7 @@ struct EngineObs {
     flush_drain = registry.add_histogram("flush.drain");
     flush_apply = registry.add_histogram("flush.apply");
     flush_shard_build = registry.add_histogram("flush.shard_build");
+    flush_shard_patch = registry.add_histogram("flush.shard_patch");
     flush_shards = registry.add_histogram("flush.shards");
     flush_cross = registry.add_histogram("flush.cross");
     flush_publish = registry.add_histogram("flush.publish");
@@ -285,6 +293,15 @@ inline void print_report(const EngineStats::Report& r, std::FILE* out = stdout) 
                  (unsigned long long)r.refresh_shards_reused,
                  (unsigned long long)r.refresh_shards_rebuilt,
                  (unsigned long long)r.cross_uf_incremental);
+  if (r.shard_snapshots_patched || r.shard_patch_fallbacks)
+    std::fprintf(out,
+                 "shard patching: %llu patched (%llu fallbacks)  rounds %llu "
+                 "rerun / %llu total  %llu nodes patched\n",
+                 (unsigned long long)r.shard_snapshots_patched,
+                 (unsigned long long)r.shard_patch_fallbacks,
+                 (unsigned long long)r.contraction_rounds_rerun,
+                 (unsigned long long)r.contraction_rounds_total,
+                 (unsigned long long)r.contraction_nodes_patched);
   if (r.labels_rebuilt || r.labels_patched || r.labels_reused)
     std::fprintf(out,
                  "flat labels: %llu rebuilt / %llu patched / %llu reused\n",

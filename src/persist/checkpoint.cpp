@@ -15,11 +15,30 @@ namespace dynsld::persist {
 namespace {
 
 constexpr char kMagic[8] = {'D', 'S', 'L', 'D', 'C', 'K', 'P', '1'};
-constexpr uint32_t kVersion = 1;
+// v2: EpochDelta gained per-shard patch records (shard_patch).
+constexpr uint32_t kVersion = 2;
 
 }  // namespace
 
 // ---- SnapshotCodec ---------------------------------------------------
+
+void SnapshotCodec::encode_shard(const engine::DendrogramSnapshot& d,
+                                 ByteWriter& out) {
+  out.u32(d.n_);
+  out.u32(d.base_);
+  out.pod_vec(d.u_);
+  out.pod_vec(d.v_);
+  out.pod_vec(d.weight_);
+  out.pod_vec(d.parent_);
+  out.pod_vec(d.count_);
+  out.pod_vec(d.leaf_parent_);
+  out.pod_vec(d.child_off_);
+  out.pod_vec(d.child_list_);
+  out.pod_vec(d.leaf_off_);
+  out.pod_vec(d.leaf_list_);
+  out.u32(static_cast<uint32_t>(d.levels_));
+  out.pod_vec(d.up_);
+}
 
 void SnapshotCodec::encode(const engine::EngineSnapshot& snap,
                            ByteWriter& out) {
@@ -27,23 +46,7 @@ void SnapshotCodec::encode(const engine::EngineSnapshot& snap,
   out.u32(snap.map_.n);
   out.u32(static_cast<uint32_t>(snap.map_.num_shards));
   out.u32(snap.map_.stride);
-  for (const auto& sp : snap.shards_) {
-    const engine::DendrogramSnapshot& d = *sp;
-    out.u32(d.n_);
-    out.u32(d.base_);
-    out.pod_vec(d.u_);
-    out.pod_vec(d.v_);
-    out.pod_vec(d.weight_);
-    out.pod_vec(d.parent_);
-    out.pod_vec(d.count_);
-    out.pod_vec(d.leaf_parent_);
-    out.pod_vec(d.child_off_);
-    out.pod_vec(d.child_list_);
-    out.pod_vec(d.leaf_off_);
-    out.pod_vec(d.leaf_list_);
-    out.u32(static_cast<uint32_t>(d.levels_));
-    out.pod_vec(d.up_);
-  }
+  for (const auto& sp : snap.shards_) encode_shard(*sp, out);
   out.pod_vec(snap.cross_->edges());
   // Delta + trace metadata: what this epoch changed and what it cost —
   // so a rehydrated snapshot introspects exactly like the original.
@@ -54,6 +57,16 @@ void SnapshotCodec::encode(const engine::EngineSnapshot& snap,
   out.u32(dl.cross_erased);
   out.f64(dl.cross_min_w);
   out.u64(dl.verts_rebuilt);
+  // ShardPatch has interior padding: serialize field-wise so the file
+  // bytes stay a pure function of the state.
+  out.u64(dl.shard_patch.size());
+  for (const engine::EpochDelta::ShardPatch& sp : dl.shard_patch) {
+    out.u8(sp.mode);
+    out.u8(sp.fallback);
+    out.u32(sp.rounds_total);
+    out.u32(sp.rounds_rerun);
+    out.u64(sp.nodes_patched);
+  }
   const obs::EpochTrace& tr = snap.trace_;
   out.u64(tr.epoch);
   out.u64(tr.ops);
@@ -115,6 +128,18 @@ engine::EpochManager::Snap SnapshotCodec::decode(
   dl.cross_erased = in.u32();
   dl.cross_min_w = in.f64();
   dl.verts_rebuilt = in.u64();
+  uint64_t n_patch = in.u64();
+  if (n_patch > in.remaining() / 18) return nullptr;  // 18 B encoded each
+  dl.shard_patch.reserve(static_cast<size_t>(n_patch));
+  for (uint64_t i = 0; i < n_patch; ++i) {
+    engine::EpochDelta::ShardPatch sp;
+    sp.mode = in.u8();
+    sp.fallback = in.u8();
+    sp.rounds_total = in.u32();
+    sp.rounds_rerun = in.u32();
+    sp.nodes_patched = in.u64();
+    dl.shard_patch.push_back(sp);
+  }
   obs::EpochTrace& tr = snap->trace_;
   tr.epoch = in.u64();
   tr.ops = in.u64();

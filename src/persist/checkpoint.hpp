@@ -64,6 +64,11 @@ struct SnapshotCodec {
   /// Serialize `snap` (shards, cross table, delta, trace, captured
   /// edges) into `out`.
   static void encode(const engine::EngineSnapshot& snap, ByteWriter& out);
+  /// Serialize one shard's DendrogramSnapshot arrays — the per-shard
+  /// unit encode() emits. Exposed so tests can compare a patched shard
+  /// snapshot byte-for-byte against a freshly built one.
+  static void encode_shard(const engine::DendrogramSnapshot& d,
+                           ByteWriter& out);
   /// Rebuild a snapshot from codec bytes; null on malformed input.
   /// `stats`/`obs` (nullable) become the decoded snapshot's accounting
   /// sinks, normally the recovering service's own bundle.

@@ -19,6 +19,7 @@
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 
 namespace dynsld::persist {
@@ -66,6 +67,25 @@ struct PersistOptions {
 
   /// Persistence enabled?
   bool enabled() const { return !dir.empty(); }
+
+  /// Reject nonsensical knob combinations up front with a typed error
+  /// instead of silently clamping them at the point of use (a zero
+  /// rehydrate_cache used to behave as capacity 1, which lied about
+  /// the memory budget the caller asked for). Called by
+  /// PersistenceManager on construction — both the fresh-service and
+  /// recover() paths go through it.
+  void validate() const {
+    if (rehydrate_cache == 0)
+      throw std::invalid_argument(
+          "PersistOptions.rehydrate_cache must be >= 1 (AsOf queries "
+          "older than the retention ring need at least one slot)");
+    if (fsync_policy == FsyncPolicy::kEveryN && fsync_every_n == 0)
+      throw std::invalid_argument(
+          "PersistOptions.fsync_every_n must be >= 1 under kEveryN");
+    if (checkpoint_every == 0)
+      throw std::invalid_argument(
+          "PersistOptions.checkpoint_every must be >= 1");
+  }
 };
 
 }  // namespace dynsld::persist

@@ -15,6 +15,10 @@ PersistenceManager::PersistenceManager(PersistOptions opts,
       obs_(std::move(obs)),
       wal_(backend_, opts_, obs_),
       ckpt_(backend_, opts_, obs_) {
+  // Typed rejection of nonsensical knobs (zero cache/cadence used to be
+  // silently clamped to 1 at the point of use). Fresh services and
+  // recover() both construct the manager, so both paths are covered.
+  opts_.validate();
   backend_->mkdirs(opts_.dir);
 }
 
@@ -41,8 +45,8 @@ void PersistenceManager::log_batch(
 
 void PersistenceManager::on_publish(const engine::EngineSnapshot& snap,
                                     uint64_t next_ticket) {
-  const uint64_t every = opts_.checkpoint_every ? opts_.checkpoint_every : 1;
-  if (snap.epoch() - last_checkpoint_epoch_ < every) return;
+  // checkpoint_every == 0 is rejected by PersistOptions::validate().
+  if (snap.epoch() - last_checkpoint_epoch_ < opts_.checkpoint_every) return;
   std::vector<LiveEdge> live;
   live.reserve(live_.size());
   for (const auto& [t, e] : live_)
@@ -78,8 +82,8 @@ engine::EpochManager::Snap PersistenceManager::rehydrate(uint64_t epoch) {
   if (obs_)
     obs_->stats.asof_rehydrated.fetch_add(1, std::memory_order_relaxed);
   cache_.emplace_front(epoch, snap);
-  const size_t cap = opts_.rehydrate_cache ? opts_.rehydrate_cache : 1;
-  while (cache_.size() > cap) cache_.pop_back();
+  // rehydrate_cache == 0 is rejected by PersistOptions::validate().
+  while (cache_.size() > opts_.rehydrate_cache) cache_.pop_back();
   return snap;
 }
 

@@ -102,6 +102,12 @@ class PersistenceManager {
   /// Force a WAL sync now regardless of policy.
   bool sync_wal() { return wal_.sync(); }
 
+  /// Honor the kInterval fsync deadline outside the append path (the
+  /// service calls this from empty flushes and the writer's idle tick
+  /// so a burst-then-silence workload never leaves the tail unsynced
+  /// past the interval). No-op under other policies.
+  bool sync_if_due() { return wal_.sync_if_due(); }
+
   // ---- recovery seeding (recover() drives these before attach) ----
 
   /// Seed one alive edge into the live-edge table.

@@ -117,14 +117,23 @@ void WalWriter::maybe_sync() {
     case FsyncPolicy::kOff:
       return;
     case FsyncPolicy::kEveryN:
-      if (records_since_sync_ >= (opts_.fsync_every_n ? opts_.fsync_every_n : 1))
-        sync();
+      // fsync_every_n == 0 is rejected by PersistOptions::validate().
+      if (records_since_sync_ >= opts_.fsync_every_n) sync();
       return;
     case FsyncPolicy::kInterval:
       if (std::chrono::steady_clock::now() - last_sync_ >= opts_.fsync_interval)
         sync();
       return;
   }
+}
+
+bool WalWriter::sync_if_due() {
+  if (failed_ || !file_) return !failed_;
+  if (opts_.fsync_policy != FsyncPolicy::kInterval) return true;
+  if (records_since_sync_ == 0) return true;  // nothing at risk
+  if (std::chrono::steady_clock::now() - last_sync_ < opts_.fsync_interval)
+    return true;
+  return sync();
 }
 
 bool WalWriter::append(uint64_t epoch,

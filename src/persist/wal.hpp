@@ -83,6 +83,15 @@ class WalWriter {
   /// closing a segment; also handy in tests).
   bool sync();
 
+  /// Interval-policy deadline check, callable OUTSIDE the append path.
+  /// append() only evaluates the kInterval clock when a record arrives,
+  /// so a burst followed by silence would leave the tail unsynced
+  /// indefinitely; the service calls this from its idle tick and from
+  /// empty flushes so a lull never exceeds the interval by more than
+  /// one tick. No-op (returns true) unless policy is kInterval, there
+  /// are unsynced records, and the interval has elapsed.
+  bool sync_if_due();
+
   /// Has an append or open failed? A poisoned writer drops all
   /// subsequent appends.
   bool failed() const { return failed_; }

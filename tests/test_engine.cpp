@@ -140,7 +140,67 @@ TEST(MutationQueue, DoubleEraseMarksDirtyOnce) {
   EXPECT_EQ(dirty.shards[0], 0);
   EXPECT_EQ(dirty.shards[1], 1);
   EXPECT_FALSE(dirty.cross);
-  EXPECT_EQ(stats.duplicate_erases.load(), 2u);
+  // Counter triple: the real erase and its ticket-duplicate both count
+  // as enqueued erase traffic; the endpoint-ledger miss enqueued
+  // NOTHING, so it must not inflate either of those — it gets its own
+  // counter (a miss used to bump erases_enqueued AND duplicate_erases).
+  EXPECT_EQ(stats.erases_enqueued.load(), 2u);
+  EXPECT_EQ(stats.duplicate_erases.load(), 1u);
+  EXPECT_EQ(stats.erase_ledger_misses.load(), 1u);
+}
+
+TEST(MutationQueue, LedgerMissCountsOnlyTheMissCounter) {
+  EngineStats stats;
+  MutationQueue q(&stats);
+  // No insertion of (3, 4) ever happened: pure miss.
+  EXPECT_FALSE(q.enqueue_erase(vertex_id{3}, vertex_id{4}));
+  EXPECT_EQ(stats.erases_enqueued.load(), 0u);
+  EXPECT_EQ(stats.duplicate_erases.load(), 0u);
+  EXPECT_EQ(stats.erase_ledger_misses.load(), 1u);
+  // A hit right after still counts normally.
+  ticket_t t = q.enqueue_insert(3, 4, 0.5);
+  (void)q.drain();
+  EXPECT_TRUE(q.enqueue_erase(vertex_id{3}, vertex_id{4}));
+  EXPECT_EQ(stats.erases_enqueued.load(), 1u);
+  EXPECT_EQ(stats.erase_ledger_misses.load(), 1u);
+  (void)t;
+}
+
+/// Patch-viability fallback: a batch that guts more than half a shard
+/// fails the exact re-check at materialization and falls back to a full
+/// rebuild (counted, and visible per-shard in the epoch delta); the
+/// next small batch patches again.
+TEST(ShardRouter, PatchViabilityFallbackOnLargeCut) {
+  ServiceConfig cfg;
+  cfg.num_vertices = 32;
+  cfg.num_shards = 1;
+  SldService svc(cfg);
+  par::Rng rng = test::test_rng();
+  std::vector<ticket_t> ts;
+  for (vertex_id v = 0; v + 1 < 32; ++v)
+    ts.push_back(svc.insert(v, v + 1, rng.next_double()));
+  svc.flush();
+
+  for (size_t i = 0; i < 20; ++i) svc.erase(ts[i]);  // > half the shard
+  svc.flush();
+  auto r = svc.stats();
+  EXPECT_GE(r.shard_patch_fallbacks, 1u);
+  {
+    const EpochDelta& dl = svc.snapshot()->delta();
+    ASSERT_EQ(dl.shard_patch.size(), 1u);
+    EXPECT_EQ(dl.shard_patch[0].mode, 0);
+    EXPECT_EQ(dl.shard_patch[0].fallback, 1);
+  }
+
+  svc.insert(0, 31, 0.9);  // small follow-up batch
+  svc.flush();
+  EXPECT_GT(svc.stats().shard_snapshots_patched, 0u);
+  {
+    const EpochDelta& dl = svc.snapshot()->delta();
+    ASSERT_EQ(dl.shard_patch.size(), 1u);
+    EXPECT_EQ(dl.shard_patch[0].mode, 1);
+    EXPECT_EQ(dl.shard_patch[0].fallback, 0);
+  }
 }
 
 TEST(MutationQueue, ReinsertAfterEraseInOneBatch) {

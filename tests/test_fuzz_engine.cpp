@@ -110,6 +110,15 @@ void run_schedule(const Scenario& sc, uint64_t seed) {
   cfg.num_shards = sc.shards;
   cfg.capture_edges = true;
   SldService svc(cfg);
+  // Twin baseline: identical traffic with incremental snapshots OFF, so
+  // every dirty shard rebuilds from scratch. Whatever the patching
+  // builder produced for an epoch must match the twin's arrays
+  // byte-for-byte (SnapshotCodec::encode_shard is the canonical byte
+  // view) — this pins the copy-on-write contraction patch on every
+  // schedule of every scenario.
+  ServiceConfig bcfg = cfg;
+  bcfg.incremental_snapshots = false;
+  SldService baseline(bcfg);
   // By value: the epoch-0 snapshot this comes from is superseded later.
   const ShardMap map = svc.snapshot()->shard_map();
 
@@ -144,22 +153,41 @@ void run_schedule(const Scenario& sc, uint64_t seed) {
       size_t j = rng.next_bounded(live.size());
       if (rng.next_double() < 0.5) {
         svc.erase(live[j].ticket);
+        baseline.erase(live[j].ticket);  // tickets align: same inserts
       } else {
         EXPECT_TRUE(svc.erase(live[j].u, live[j].v));
+        EXPECT_TRUE(baseline.erase(live[j].u, live[j].v));
       }
       live[j] = live.back();
       live.pop_back();
     } else {
       auto [u, v] = pick_insert();
-      live.push_back(LiveEdge{svc.insert(u, v, rng.next_double()), u, v});
+      double w = rng.next_double();
+      live.push_back(LiveEdge{svc.insert(u, v, w), u, v});
+      baseline.insert(u, v, w);
     }
     if (step % sc.flush_every != sc.flush_every - 1) continue;
 
     uint64_t epoch = svc.flush();
+    ASSERT_EQ(baseline.flush(), epoch);
     sub.refresh();
     auto snap = svc.snapshot();
     ASSERT_EQ(snap->epoch(), epoch);
     ASSERT_EQ(sub.epoch(), epoch);
+
+    // (0) Patched per-shard snapshots are byte-identical to the twin's
+    // from-scratch builds.
+    {
+      auto bsnap = baseline.snapshot();
+      for (int k = 0; k < sc.shards; ++k) {
+        persist::ByteWriter pa, pb;
+        persist::SnapshotCodec::encode_shard(snap->shard(k), pa);
+        persist::SnapshotCodec::encode_shard(bsnap->shard(k), pb);
+        ASSERT_EQ(pa.bytes(), pb.bytes())
+            << "patched shard diverges from fresh build, shard=" << k
+            << " epoch=" << epoch;
+      }
+    }
 
     ClusterView fresh_view(snap);
     for (double tau : taus) {
@@ -523,6 +551,116 @@ TEST(FuzzEngine, RecoverAndDiffReplaysSchedulesBitForBit) {
       fs::remove_all(dir);
     }
   }
+}
+
+// The tentpole differential: one big shard under erase-heavy SMALL
+// batches must take the contraction patch path — counters prove most
+// lifting rounds were reused, not re-run — while staying byte-identical
+// to a from-scratch twin and the Kruskal oracle, and the patched bytes
+// must survive persist::recover() (whose replay rebuilds through the
+// restore path) unchanged.
+TEST(FuzzEngine, IncrementalShardPatchEraseHeavySmallBatches) {
+  namespace fs = std::filesystem;
+  const vertex_id n = 1024;
+  const fs::path dir = fs::temp_directory_path() / "dynsld_fuzz_shard_patch";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  ServiceConfig cfg;
+  cfg.num_vertices = n;
+  cfg.num_shards = 1;
+  cfg.capture_edges = true;
+  cfg.retain_epochs = 64;
+  cfg.persist.dir = dir.string();
+  cfg.persist.checkpoint_every = 5;
+  ServiceConfig bcfg = cfg;
+  bcfg.incremental_snapshots = false;
+  bcfg.persist.dir.clear();
+
+  std::map<uint64_t, std::string> shard_bytes;  // epoch -> encoded shard 0
+  {
+    SldService svc(cfg);
+    SldService baseline(bcfg);
+    par::Rng rng(20260808);
+    uint64_t widx = 0;
+    // Distinct weights (injective map modulo a prime): ties would make
+    // the dendrogram depend on the rank tiebreak alone, which is fine
+    // for correctness but makes failure triage noisier.
+    auto next_weight = [&] {
+      return static_cast<double>((widx++ * 2654435761ull + 17) % 999983ull) /
+             999983.0;
+    };
+    std::vector<LiveEdge> live;
+    auto ins = [&](vertex_id u, vertex_id v) {
+      double w = next_weight();
+      live.push_back(LiveEdge{svc.insert(u, v, w), u, v});
+      baseline.insert(u, v, w);
+    };
+    // Bulk load: a path over the whole shard plus random chords.
+    for (vertex_id v = 0; v + 1 < n; ++v) ins(v, v + 1);
+    for (int i = 0; i < 256; ++i) {
+      auto [u, v] = test::random_distinct_pair(rng, n);
+      ins(u, v);
+    }
+    uint64_t e0 = svc.flush();
+    ASSERT_EQ(baseline.flush(), e0);
+
+    for (int round = 0; round < 10; ++round) {
+      for (int i = 0; i < 12; ++i) {  // small cut, erase-dominated
+        if (!live.empty() && rng.next_double() < 0.7) {
+          size_t j = rng.next_bounded(live.size());
+          svc.erase(live[j].ticket);
+          baseline.erase(live[j].ticket);
+          live[j] = live.back();
+          live.pop_back();
+        } else {
+          auto [u, v] = test::random_distinct_pair(rng, n);
+          ins(u, v);
+        }
+      }
+      uint64_t e = svc.flush();
+      ASSERT_EQ(baseline.flush(), e);
+      auto snap = svc.snapshot();
+      auto bsnap = baseline.snapshot();
+      persist::ByteWriter pa, pb;
+      persist::SnapshotCodec::encode_shard(snap->shard(0), pa);
+      persist::SnapshotCodec::encode_shard(bsnap->shard(0), pb);
+      ASSERT_EQ(pa.bytes(), pb.bytes()) << "round " << round;
+      shard_bytes[e] = pa.bytes();
+      for (double tau : {0.3, 0.7}) {
+        auto ref = reference_labels(n, snap->captured_edges(), tau);
+        expect_same_partition(ref, snap->flat_clustering(tau));
+      }
+    }
+
+    auto r = svc.stats();
+    EXPECT_GT(r.shard_snapshots_patched, 0u);
+    ASSERT_GT(r.contraction_rounds_total, 0u);
+    // Sublinearity in action: a small cut re-runs only the rounds its
+    // footprint touches; most lifting rounds are row-copied.
+    EXPECT_LT(r.contraction_rounds_rerun, r.contraction_rounds_total);
+    // Per-epoch introspection agrees with the aggregate counters.
+    const EpochDelta& dl = svc.snapshot()->delta();
+    ASSERT_EQ(dl.shard_patch.size(), 1u);
+    EXPECT_EQ(dl.shard_patch[0].mode, 1);
+    EXPECT_LT(dl.shard_patch[0].rounds_rerun, dl.shard_patch[0].rounds_total);
+  }  // clean shutdown; the directory is the survivor
+
+  auto res = persist::recover(cfg);
+  ASSERT_TRUE(res.service);
+  size_t compared = 0;
+  for (const auto& [e, bytes] : shard_bytes) {
+    if (e < res.checkpoint_epoch) continue;  // below the replay base
+    auto snap = res.service->snapshot_at(e);
+    ASSERT_TRUE(snap) << "epoch " << e;
+    persist::ByteWriter pr;
+    persist::SnapshotCodec::encode_shard(snap->shard(0), pr);
+    EXPECT_EQ(pr.bytes(), bytes) << "epoch " << e;
+    ++compared;
+  }
+  EXPECT_GT(compared, 0u);
+  res.service.reset();
+  fs::remove_all(dir);
 }
 
 }  // namespace

@@ -16,12 +16,14 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
 #include <map>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "engine/cluster_view.hpp"
@@ -311,6 +313,156 @@ TEST(Wal, FsyncPolicies) {
   EXPECT_EQ(
       run(persist::FsyncPolicy::kInterval, 0, std::chrono::milliseconds(0)),
       4u);
+}
+
+TEST(Wal, SyncIfDueCoversBurstThenSilence) {
+  // kInterval's clock used to be checked only inside append(), so a
+  // burst followed by silence left the tail unsynced indefinitely.
+  // sync_if_due() is the out-of-band deadline check.
+  MutationQueue::Drained b;
+  b.inserts.push_back({0, 1, 2, 0.5});
+  TempDir dir;
+  persist::PersistOptions opts;
+  opts.dir = dir.path;
+  opts.fsync_policy = persist::FsyncPolicy::kInterval;
+  opts.fsync_interval = std::chrono::milliseconds(25);
+  auto obs = std::make_shared<EngineObs>();
+  persist::WalWriter w(persist::local_backend(), opts, obs);
+  EXPECT_TRUE(w.append(1, b));  // the burst
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  // Deadline passed with no further appends: the check pays exactly the
+  // one owed fsync. (On a pathologically slow machine the append itself
+  // may have paid it — either way the total is one, never zero.)
+  EXPECT_TRUE(w.sync_if_due());
+  EXPECT_EQ(obs->stats.wal_fsyncs.load(), 1u);
+  // Nothing pending: later ticks never re-sync, however long the lull.
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_TRUE(w.sync_if_due());
+  EXPECT_EQ(obs->stats.wal_fsyncs.load(), 1u);
+}
+
+TEST(Wal, SyncIfDueIsPolicyGated) {
+  MutationQueue::Drained b;
+  b.inserts.push_back({0, 1, 2, 0.5});
+  for (auto pol : {persist::FsyncPolicy::kOff, persist::FsyncPolicy::kEveryN}) {
+    TempDir dir;
+    persist::PersistOptions opts;
+    opts.dir = dir.path;
+    opts.fsync_policy = pol;
+    opts.fsync_every_n = 4;  // far from due
+    auto obs = std::make_shared<EngineObs>();
+    persist::WalWriter w(persist::local_backend(), opts, obs);
+    EXPECT_TRUE(w.append(1, b));
+    EXPECT_TRUE(w.sync_if_due());  // not an interval policy: no-op
+    EXPECT_EQ(obs->stats.wal_fsyncs.load(), 0u);
+  }
+}
+
+TEST(Persist, IntervalLullSyncedByIdleTickWithinOneTick) {
+  // Service-level: the background writer's idle tick (and empty
+  // flushes) must honor the interval deadline, so a lull after a burst
+  // is synced within roughly interval + one writer tick.
+  TempDir dir;
+  ServiceConfig cfg;
+  cfg.num_vertices = 16;
+  cfg.persist.dir = dir.path;
+  cfg.persist.fsync_policy = persist::FsyncPolicy::kInterval;
+  cfg.persist.fsync_interval = std::chrono::milliseconds(25);
+  cfg.flush_interval = std::chrono::milliseconds(5);  // the writer tick
+  cfg.flush_threshold = 1000;  // only the interval timer flushes
+  SldService svc(cfg);
+  svc.start_writer();
+  uint64_t base = svc.stats().wal_fsyncs;
+  svc.insert(1, 2, 0.5);
+  svc.flush();
+  if (svc.stats().wal_fsyncs != base) {
+    // The append itself paid the sync (clock already past due on a slow
+    // machine): burst again immediately so records are left pending.
+    base = svc.stats().wal_fsyncs;
+    svc.insert(2, 3, 0.6);
+    svc.flush();
+  }
+  // Pure silence from here. The idle tick must pay the owed fsync; the
+  // loop bound is generous for CI, the expected latency is
+  // interval + one tick (~30 ms).
+  auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(2000);
+  while (svc.stats().wal_fsyncs == base &&
+         std::chrono::steady_clock::now() < deadline)
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  EXPECT_GT(svc.stats().wal_fsyncs, base)
+      << "burst-then-silence left the WAL tail unsynced past the interval";
+  svc.stop_writer();
+}
+
+TEST(Persist, OptionsValidateRejectsZeroKnobs) {
+  TempDir dir;
+  ServiceConfig cfg;
+  cfg.num_vertices = 8;
+  cfg.persist.dir = dir.path;
+  {
+    ServiceConfig c = cfg;
+    c.persist.rehydrate_cache = 0;  // used to be silently clamped to 1
+    EXPECT_THROW(SldService svc(c), std::invalid_argument);
+    EXPECT_THROW(persist::recover(c), std::invalid_argument);
+  }
+  {
+    ServiceConfig c = cfg;
+    c.persist.fsync_policy = persist::FsyncPolicy::kEveryN;
+    c.persist.fsync_every_n = 0;
+    EXPECT_THROW(SldService svc(c), std::invalid_argument);
+  }
+  {
+    ServiceConfig c = cfg;
+    c.persist.checkpoint_every = 0;
+    EXPECT_THROW(SldService svc(c), std::invalid_argument);
+  }
+  // fsync_every_n = 0 is legal when the policy never reads it.
+  {
+    ServiceConfig c = cfg;
+    c.persist.fsync_policy = persist::FsyncPolicy::kOff;
+    c.persist.fsync_every_n = 0;
+    SldService svc(c);
+    svc.insert(1, 2, 0.5);
+    EXPECT_EQ(svc.flush(), 1u);
+  }
+}
+
+TEST(AsOf, RehydrateCacheCapacityOneBoundary) {
+  // Capacity 1 — the smallest legal value (and the old clamp target for
+  // zero) — must behave as a real one-entry LRU: a repeat of the cached
+  // epoch is a hit, alternating epochs decode every time.
+  TempDir dir;
+  const double tau = 0.5;
+  ServiceConfig cfg;
+  cfg.num_vertices = 32;
+  cfg.retain_epochs = 1;  // everything historical leaves the ring fast
+  cfg.persist.dir = dir.path;
+  cfg.persist.checkpoint_every = 2;
+  cfg.persist.retain_checkpoints = 8;
+  cfg.persist.rehydrate_cache = 1;
+  SldService svc(cfg);
+  auto rng = test::test_rng();
+  uint64_t widx = 0;
+  for (int i = 0; i < 8; ++i) {
+    auto [u, v] = test::random_distinct_pair(rng, 32);
+    svc.insert(u, v, unique_weight(widx++));
+    svc.flush();
+  }
+  auto asof = [&](uint64_t e) {
+    QueryRequest req;
+    req.queries = {NumClustersQuery{tau}};
+    req.consistency = AsOf{e};
+    return svc.submit(std::move(req)).get().epoch;
+  };
+  EXPECT_EQ(asof(2), 2u);
+  EXPECT_EQ(svc.stats().asof_rehydrated, 1u);
+  EXPECT_EQ(asof(2), 2u);  // cache hit: no second decode
+  EXPECT_EQ(svc.stats().asof_rehydrated, 1u);
+  EXPECT_EQ(asof(4), 4u);  // evicts epoch 2 (capacity one)
+  EXPECT_EQ(svc.stats().asof_rehydrated, 2u);
+  EXPECT_EQ(asof(2), 2u);  // decoded again
+  EXPECT_EQ(svc.stats().asof_rehydrated, 3u);
 }
 
 // ---- checkpoint codec -------------------------------------------------
