@@ -17,15 +17,37 @@
 //   $ ./serving_demo --data-dir DIR --recover  # resume a crashed run
 //                                # (replays the directory, prints the
 //                                # recovered epoch, keeps serving)
+//
+// Network modes (docs/NETWORK.md):
+//   $ ./serving_demo --serve 7070 [--data-dir DIR]
+//       Writer process: ingests the demo churn, prints an oracle line
+//       ("oracle epoch=E num_clusters@0.25=K") plus "ready", then
+//       serves RPC on 127.0.0.1:7070 until SIGTERM/SIGINT. With
+//       --data-dir it also streams checkpoints + WAL deltas to any
+//       replica that connects.
+//   $ ./serving_demo --replica HOST:PORT [--serve 7071]
+//       Read replica: bootstraps from the writer's checkpoint, tails
+//       its live WAL stream, prints "replica ready", and (with
+//       --serve) answers queries from its own possibly-lagging broker.
+//   $ ./serving_demo --connect HOST:PORT
+//       Client: handshakes, pings, and runs a few queries over the
+//       wire, printing "epoch=E num_clusters@0.25=K".
+#include <atomic>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <future>
 #include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "engine/sld_service.hpp"
+#include "net/client.hpp"
+#include "net/replication.hpp"
+#include "net/server.hpp"
 #include "obs/export.hpp"
 #include "parallel/random.hpp"
 #include "persist/persist.hpp"
@@ -34,34 +56,264 @@ using namespace dynsld;
 using namespace dynsld::engine;
 using namespace std::chrono_literals;
 
+namespace {
+
+std::atomic<bool> g_stop{false};
+void on_signal(int) { g_stop.store(true, std::memory_order_release); }
+
+// "HOST:PORT" -> (host, port); false on malformed input.
+bool split_hostport(const char* s, std::string* host, uint16_t* port) {
+  const char* colon = std::strrchr(s, ':');
+  if (!colon || colon == s) return false;
+  long p = std::atol(colon + 1);
+  if (p <= 0 || p > 65535) return false;
+  host->assign(s, colon - s);
+  *port = static_cast<uint16_t>(p);
+  return true;
+}
+
+// The shared engine shape: every process in a serving topology must
+// agree on it (the replica handshake enforces this).
+ServiceConfig demo_config(const char* data_dir) {
+  ServiceConfig cfg;
+  cfg.num_vertices = 1000;
+  cfg.num_shards = 4;
+  cfg.flush_threshold = 64;
+  cfg.flush_interval = std::chrono::microseconds(200);
+  // A deep AsOf ring, so a client (or the CI smoke job) can pin an
+  // epoch with --as-of and compare answers across the writer and
+  // lagging replicas while the serve-mode trickle keeps publishing.
+  cfg.retain_epochs = 512;
+  if (data_dir) {
+    cfg.persist.dir = data_dir;
+    cfg.persist.checkpoint_every = 32;
+  }
+  return cfg;
+}
+
+// The demo churn: random inserts/erases from a fixed seed, so the
+// writer's final clustering is deterministic and the oracle line can be
+// checked against any client or replica answer.
+void run_churn(SldService& svc, vertex_id n, int updates) {
+  par::Rng rng(2026);
+  std::vector<ticket_t> live;
+  for (int i = 0; i < updates; ++i) {
+    if (!live.empty() && rng.next_double() < 0.3) {
+      size_t j = rng.next_bounded(live.size());
+      svc.erase(live[j]);
+      live[j] = live.back();
+      live.pop_back();
+    } else {
+      vertex_id u = rng.next_bounded(n), v;
+      do {
+        v = rng.next_bounded(n);
+      } while (v == u);
+      live.push_back(svc.insert(u, v, rng.next_double()));
+    }
+  }
+}
+
+// --serve: writer process. Ingest, print the oracle, serve until
+// signalled.
+int run_server_mode(uint16_t port, const char* data_dir, bool metrics) {
+  ServiceConfig cfg = demo_config(data_dir);
+  std::unique_ptr<SldService> owned;
+  try {
+    owned = std::make_unique<SldService>(cfg);
+  } catch (const std::runtime_error& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+  SldService& svc = *owned;
+  svc.start_writer();
+  run_churn(svc, cfg.num_vertices, 20000);
+  svc.flush();
+
+  QueryRequest oracle;
+  oracle.queries = {NumClustersQuery{0.25}};
+  ResultSet rs = svc.submit(std::move(oracle)).get();
+  std::printf("oracle epoch=%llu num_clusters@0.25=%llu\n",
+              (unsigned long long)rs.epoch,
+              (unsigned long long)std::get<uint64_t>(rs.results[0]));
+
+  net::RpcServer::Options sopt;
+  sopt.port = port;
+  std::unique_ptr<net::RpcServer> server;
+  try {
+    server = std::make_unique<net::RpcServer>(svc, sopt);
+  } catch (const std::runtime_error& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+  std::printf("ready\n");
+  std::fflush(stdout);
+
+  // Keep a trickle of updates flowing so connected replicas exercise
+  // live tailing, not just bootstrap.
+  par::Rng rng(4242);
+  while (!g_stop.load(std::memory_order_acquire)) {
+    vertex_id u = rng.next_bounded(cfg.num_vertices), v;
+    do {
+      v = rng.next_bounded(cfg.num_vertices);
+    } while (v == u);
+    svc.insert(u, v, rng.next_double());
+    svc.flush();
+    std::this_thread::sleep_for(250ms);
+  }
+
+  server->stop();
+  svc.stop_writer();
+  print_report(svc.stats());
+  if (metrics)
+    std::fprintf(stderr, "%s\n",
+                 obs::to_json(svc.obs().registry.scrape()).c_str());
+  return 0;
+}
+
+// --replica: bootstrap from the writer, tail its stream, optionally
+// serve a broker of our own at the (possibly lagging) applied epoch.
+int run_replica_mode(const std::string& host, uint16_t writer_port,
+                     uint16_t serve_port, bool metrics) {
+  net::Replica::Options ropt;
+  ropt.host = host;
+  ropt.port = writer_port;
+  ropt.cfg = demo_config(nullptr);
+  std::unique_ptr<net::Replica> replica;
+  try {
+    replica = std::make_unique<net::Replica>(ropt);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "replica: %s\n", e.what());
+    return 2;
+  }
+  std::unique_ptr<net::RpcServer> server;
+  if (serve_port) {
+    net::RpcServer::Options sopt;
+    sopt.port = serve_port;
+    try {
+      server = std::make_unique<net::RpcServer>(replica->service(), sopt);
+    } catch (const std::runtime_error& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 2;
+    }
+  }
+  std::printf("replica ready\n");
+  std::fflush(stdout);
+
+  while (!g_stop.load(std::memory_order_acquire)) {
+    if (replica->desynced()) {
+      std::fprintf(stderr, "replica: stream desynced, exiting\n");
+      break;
+    }
+    if (!replica->live()) {
+      std::fprintf(stderr, "replica: writer gone, serving frozen epoch %llu\n",
+                   (unsigned long long)replica->applied_epoch());
+      // Keep serving the last applied epoch until signalled.
+      while (!g_stop.load(std::memory_order_acquire))
+        std::this_thread::sleep_for(50ms);
+      break;
+    }
+    std::this_thread::sleep_for(50ms);
+  }
+
+  if (server) server->stop();
+  print_report(replica->service().stats());
+  if (metrics)
+    std::fprintf(stderr, "%s\n",
+                 obs::to_json(replica->service().obs().registry.scrape())
+                     .c_str());
+  return replica->desynced() ? 3 : 0;
+}
+
+// --connect: a wire client. Ping, then the same questions the oracle
+// answered, so outputs are directly comparable.
+int run_client_mode(const std::string& host, uint16_t port) {
+  std::unique_ptr<net::RpcClient> client;
+  try {
+    client = std::make_unique<net::RpcClient>(host, port);
+  } catch (const std::runtime_error& e) {
+    std::fprintf(stderr, "connect: %s\n", e.what());
+    return 2;
+  }
+  if (!client->ping()) {
+    std::fprintf(stderr, "connect: ping failed\n");
+    return 2;
+  }
+  QueryRequest req;
+  req.queries = {NumClustersQuery{0.25}, SizeHistogramQuery{0.25}};
+  req.deadline = std::chrono::steady_clock::now() + 2s;
+  try {
+    ResultSet rs = client->query(req);
+    const auto& hist = std::get<SizeHistogram>(rs.results[1]);
+    std::printf("epoch=%llu num_clusters@0.25=%llu biggest=%llu\n",
+                (unsigned long long)rs.epoch,
+                (unsigned long long)std::get<uint64_t>(rs.results[0]),
+                (unsigned long long)(hist.bins.empty() ? 0
+                                                       : hist.bins.back().first));
+  } catch (const QueryError& e) {
+    std::fprintf(stderr, "connect: %s\n", e.what());
+    return 3;
+  } catch (const std::runtime_error& e) {
+    std::fprintf(stderr, "connect: %s\n", e.what());
+    return 2;
+  }
+  return 0;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   bool metrics = false;
   bool do_recover = false;
   const char* data_dir = nullptr;
+  uint16_t serve_port = 0;
+  bool serve = false;
+  const char* replica_target = nullptr;
+  const char* connect_target = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--metrics") == 0) metrics = true;
     if (std::strcmp(argv[i], "--recover") == 0) do_recover = true;
     if (std::strcmp(argv[i], "--data-dir") == 0 && i + 1 < argc)
       data_dir = argv[++i];
+    if (std::strcmp(argv[i], "--serve") == 0 && i + 1 < argc) {
+      serve = true;
+      serve_port = static_cast<uint16_t>(std::atoi(argv[++i]));
+    }
+    if (std::strcmp(argv[i], "--replica") == 0 && i + 1 < argc)
+      replica_target = argv[++i];
+    if (std::strcmp(argv[i], "--connect") == 0 && i + 1 < argc)
+      connect_target = argv[++i];
   }
+
+  if (serve || replica_target) {
+    std::signal(SIGINT, on_signal);
+    std::signal(SIGTERM, on_signal);
+  }
+  if (connect_target) {
+    std::string host;
+    uint16_t port = 0;
+    if (!split_hostport(connect_target, &host, &port)) {
+      std::fprintf(stderr, "--connect wants HOST:PORT\n");
+      return 2;
+    }
+    return run_client_mode(host, port);
+  }
+  if (replica_target) {
+    std::string host;
+    uint16_t port = 0;
+    if (!split_hostport(replica_target, &host, &port)) {
+      std::fprintf(stderr, "--replica wants HOST:PORT\n");
+      return 2;
+    }
+    return run_replica_mode(host, port, serve_port, metrics);
+  }
+  if (serve) return run_server_mode(serve_port, data_dir, metrics);
+
   if (do_recover && !data_dir) {
     std::fprintf(stderr, "--recover requires --data-dir\n");
     return 2;
   }
   const vertex_id n = 1000;
-  ServiceConfig cfg;
-  cfg.num_vertices = n;
-  cfg.num_shards = 4;
-  cfg.flush_threshold = 64;
-  cfg.flush_interval = std::chrono::microseconds(200);
-  if (data_dir) {
-    // Durable serving: every flushed batch is WAL'd before it mutates
-    // the shards, checkpoints land every 32 epochs, and old history is
-    // compacted away. Kill this process at any point and --recover
-    // picks up where the log ends.
-    cfg.persist.dir = data_dir;
-    cfg.persist.checkpoint_every = 32;
-  }
+  ServiceConfig cfg = demo_config(data_dir);
   std::unique_ptr<SldService> owned;
   if (do_recover) {
     persist::RecoverResult rec = persist::recover(cfg);

@@ -57,6 +57,15 @@ void QueryBroker::set_rehydrator(Rehydrator fn) {
   rehydrate_ = std::move(fn);
 }
 
+void QueryBroker::abort_waiters() {
+  abort_waiters_.store(true, std::memory_order_release);
+  nudge();
+}
+
+void QueryBroker::set_client_weight(uint64_t client, uint64_t weight) {
+  if (obs_) obs_->clients.set_weight(client, weight);
+}
+
 std::future<ResultSet> QueryBroker::error_future(QueryErrorCode code) {
   std::promise<ResultSet> p;
   p.set_exception(std::make_exception_ptr(QueryError(code)));
@@ -85,7 +94,13 @@ void QueryBroker::finish_error(Request* r, QueryErrorCode code) {
   // Depth drops before the future resolves, so a client that observes
   // the result never reads a stale depth() afterwards.
   depth_.fetch_sub(1, std::memory_order_acq_rel);
+  if (ClientStats* cs = r->client_stats) {
+    cs->inflight.fetch_sub(1, std::memory_order_acq_rel);
+    if (code == QueryErrorCode::kDeadlineExceeded)
+      cs->deadline_expired.fetch_add(1, std::memory_order_relaxed);
+  }
   r->promise.set_exception(std::make_exception_ptr(QueryError(code)));
+  if (r->req.on_complete) r->req.on_complete();
   delete r;
 }
 
@@ -96,7 +111,12 @@ void QueryBroker::finish_ok(Request* r) {
     obs_->broker_fulfill->record(
         elapsed_ns(r->submitted, std::chrono::steady_clock::now()));
   depth_.fetch_sub(1, std::memory_order_acq_rel);
+  if (ClientStats* cs = r->client_stats) {
+    cs->inflight.fetch_sub(1, std::memory_order_acq_rel);
+    cs->fulfilled.fetch_add(1, std::memory_order_relaxed);
+  }
   r->promise.set_value(std::move(r->out));
+  if (r->req.on_complete) r->req.on_complete();
   delete r;
 }
 
@@ -114,17 +134,25 @@ void QueryBroker::abort_intake() {
 std::future<ResultSet> QueryBroker::prepare(QueryRequest&& req, bool stopped,
                                             Request** out) {
   *out = nullptr;
-  if (stopped) return error_future(QueryErrorCode::kShutdown);
+  // Fast-fail paths resolve the future before returning, so the
+  // completion hook — fired exactly once per request, after the future
+  // is ready — fires here, on the submitting thread.
+  auto fail = [&req](QueryErrorCode code) {
+    std::future<ResultSet> fut = error_future(code);
+    if (req.on_complete) req.on_complete();
+    return fut;
+  };
+  if (stopped) return fail(QueryErrorCode::kShutdown);
   if (req.cancel.cancelled()) {
     if (stats_)
       stats_->broker_cancelled.fetch_add(1, std::memory_order_relaxed);
-    return error_future(QueryErrorCode::kCancelled);
+    return fail(QueryErrorCode::kCancelled);
   }
   const auto now = std::chrono::steady_clock::now();
   if (now >= req.deadline) {
     if (stats_)
       stats_->broker_deadline_expired.fetch_add(1, std::memory_order_relaxed);
-    return error_future(QueryErrorCode::kDeadlineExceeded);
+    return fail(QueryErrorCode::kDeadlineExceeded);
   }
   if (req.queries.empty()) {
     // Nothing to execute: complete immediately at the relevant epoch —
@@ -140,25 +168,58 @@ std::future<ResultSet> QueryBroker::prepare(QueryRequest&& req, bool stopped,
       rs.epoch = p && p->snap ? p->snap->epoch() : epochs_.cur_epoch();
       std::promise<ResultSet> pr;
       pr.set_value(std::move(rs));
-      return pr.get_future();
+      std::future<ResultSet> fut = pr.get_future();
+      if (req.on_complete) req.on_complete();
+      return fut;
     }
   }
 
   // Admission control: respect the configured depth or reject now.
+  // (Global check first: a lone client's quota equals the full depth,
+  // so single-tenant traffic sees exactly the pre-QoS behavior.)
   size_t cur = depth_.load(std::memory_order_relaxed);
   do {
     if (cur >= opt_.queue_depth) {
       if (stats_)
         stats_->broker_admission_rejects.fetch_add(1,
                                                    std::memory_order_relaxed);
-      return error_future(QueryErrorCode::kAdmissionRejected);
+      return fail(QueryErrorCode::kAdmissionRejected);
     }
   } while (!depth_.compare_exchange_weak(cur, cur + 1,
                                          std::memory_order_acq_rel));
 
+  // Per-client weighted quota (QoS): a client's in-flight share of the
+  // queue is weight / total_weight, so a saturating tenant exhausts its
+  // own slice and gets kAdmissionRejected while lighter tenants keep
+  // their headroom. Client 0 (anonymous) and obs-less contexts skip
+  // the table and contend only on the global depth.
+  ClientStats* cs = nullptr;
+  if (obs_ && req.client != 0) {
+    cs = obs_->clients.get(req.client);
+    const uint64_t total =
+        std::max<uint64_t>(1, obs_->clients.total_weight());
+    const uint64_t w = cs->weight.load(std::memory_order_relaxed);
+    const uint64_t cap =
+        std::max<uint64_t>(1, uint64_t(opt_.queue_depth) * w / total);
+    uint64_t in = cs->inflight.load(std::memory_order_relaxed);
+    do {
+      if (in >= cap) {
+        depth_.fetch_sub(1, std::memory_order_acq_rel);  // undo admission
+        cs->quota_rejected.fetch_add(1, std::memory_order_relaxed);
+        if (stats_)
+          stats_->broker_quota_rejects.fetch_add(1,
+                                                 std::memory_order_relaxed);
+        return fail(QueryErrorCode::kAdmissionRejected);
+      }
+    } while (!cs->inflight.compare_exchange_weak(in, in + 1,
+                                                 std::memory_order_acq_rel));
+    cs->submitted.fetch_add(1, std::memory_order_relaxed);
+  }
+
   Request* r = new Request;
   r->req = std::move(req);
   r->submitted = now;
+  r->client_stats = cs;
   std::future<ResultSet> fut = r->promise.get_future();
   if (stats_) {
     stats_->broker_submits.fetch_add(1, std::memory_order_relaxed);
@@ -245,10 +306,12 @@ void QueryBroker::dispatcher_loop() {
     // how long parked deadlines can go unswept (micro-batch timer).
     cv_.wait_for(lk, opt_.interval, [&] {
       return stop_ || intake_.load() != nullptr ||
+             abort_waiters_.load(std::memory_order_acquire) ||
              published_.load(std::memory_order_acquire) > last_epoch_;
     });
     if (stop_) break;
     if (intake_.load() == nullptr && parked_.empty() &&
+        !abort_waiters_.load(std::memory_order_acquire) &&
         published_.load(std::memory_order_acquire) <= last_epoch_)
       continue;
     lk.unlock();
@@ -476,6 +539,20 @@ void QueryBroker::dispatch_cycle() {
       else
         it = views_.erase(it);
     }
+  }
+
+  // Drain-abort pass (abort_waiters): anything still parked after this
+  // cycle's unpark sweep is cut loose with kShutdown — a server drain
+  // must not wait on an epoch an idle engine will never publish. The
+  // flag is consumed whether or not anyone was parked.
+  if (abort_waiters_.exchange(false, std::memory_order_acq_rel) &&
+      !parked_.empty()) {
+    for (Request* r : parked_) {
+      if (stats_)
+        stats_->broker_drain_aborted.fetch_add(1, std::memory_order_relaxed);
+      finish_error(r, QueryErrorCode::kShutdown);
+    }
+    parked_.clear();
   }
 }
 

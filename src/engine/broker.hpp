@@ -132,6 +132,26 @@ class QueryBroker {
   /// persistence attaches; without one, ring misses are unavailable).
   void set_rehydrator(Rehydrator fn);
 
+  /// Nudge the dispatcher to run a cycle now (deadline sweep, unpark
+  /// check) without waiting for a submit, a publish, or the interval
+  /// timer. Harmless at any time; the network server uses it during
+  /// connection teardown.
+  void wake() { nudge(); }
+
+  /// Resolve every parked AtLeastEpoch waiter with
+  /// QueryError{kShutdown} at the next dispatch cycle (triggered now).
+  /// A server drain calls this so it cannot wait forever on a waiter
+  /// whose epoch an idle engine will never publish; unlike shutdown(),
+  /// the broker stays live for new submits. Counted in
+  /// broker_drain_aborted.
+  void abort_waiters();
+
+  /// Set the QoS weight of `client` (see QueryRequest::client). A
+  /// client's admission share of queue_depth is weight / total_weight
+  /// across all clients ever seen; weight 0 clamps to 1. No-op in
+  /// obs-less unit contexts (no client table to weight).
+  void set_client_weight(uint64_t client, uint64_t weight);
+
  private:
   /// One accepted request: envelope, fulfillment state, intake link.
   struct Request {
@@ -147,6 +167,10 @@ class QueryBroker {
     // waiters, when the dispatcher parked it.
     std::chrono::steady_clock::time_point submitted{};
     std::chrono::steady_clock::time_point parked_at{};
+    // Per-client QoS accounting row (null for the anonymous pool or in
+    // obs-less contexts); inflight was bumped at admission and must
+    // drop exactly once at resolution.
+    ClientStats* client_stats = nullptr;
   };
 
   /// One cross-client (snapshot, tau) execution unit of a cycle.
@@ -200,6 +224,9 @@ class QueryBroker {
   std::atomic<Request*> intake_{nullptr};
   std::atomic<size_t> depth_{0};
   std::atomic<bool> stopped_{false};
+  // Drain request (abort_waiters): consumed by the dispatch cycle that
+  // cuts the parked waiters loose.
+  std::atomic<bool> abort_waiters_{false};
 
   std::mutex rehydrate_mu_;  // guards rehydrate_ (set vs dispatcher read)
   Rehydrator rehydrate_;

@@ -26,6 +26,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <stdexcept>
 #include <string>
@@ -240,6 +241,17 @@ struct QueryRequest {
   Consistency consistency = Latest{};
   Deadline deadline = Deadline::max();
   CancelToken cancel;
+  /// QoS identity for weighted admission (stats.hpp ClientStatsTable).
+  /// Each client id gets a proportional share of the broker's queue
+  /// depth; 0 — the default — is the shared anonymous pool.
+  uint64_t client = 0;
+  /// Completion hook: invoked exactly once, after the future is ready
+  /// (fulfilled OR resolved with a QueryError), on whichever thread
+  /// resolved it — possibly the submitting thread for fast-fail paths.
+  /// Must be cheap and must not submit or block: the RpcServer uses it
+  /// to wake its poll loop instead of parking a reaper thread per
+  /// future. Null (the default) means no notification.
+  std::function<void()> on_complete;
 };
 
 /// What a fulfilled request resolves to: results[i] answers queries[i],

@@ -118,6 +118,10 @@ uint64_t SldService::flush() {
     // any of it mutates the shards, so a crash at any later point
     // replays to exactly this epoch.
     if (persist_) persist_->log_batch(e_tag, batch);
+    // Replication tee: the same record bytes the WAL got, handed to the
+    // in-memory feed under the same lock (net/replication.hpp).
+    if (tap_.on_batch)
+      tap_.on_batch(e_tag, persist::WalWriter::encode_record(e_tag, batch));
     obs::ScopedSpan apply_span(&obs_->trace, "flush.apply", e_tag,
                                obs_->flush_apply);
     router_.apply(batch);
@@ -138,7 +142,15 @@ uint64_t SldService::flush() {
     publish_span.stop();
     // Checkpoint cadence (still under the flush lock: the live-edge
     // table and the published snapshot must agree).
-    if (persist_) persist_->on_publish(*published, queue_.next_ticket());
+    if (persist_) {
+      const uint64_t ck_before = persist_->last_checkpoint();
+      persist_->on_publish(*published, queue_.next_ticket());
+      const uint64_t ck_after = persist_->last_checkpoint();
+      // A cadence checkpoint landed: tell the replication feed so it
+      // can prune records the checkpoint now covers.
+      if (ck_after != ck_before && tap_.on_checkpoint)
+        tap_.on_checkpoint(ck_after);
+    }
   }
   // Notify subscribers outside the flush lock so callbacks may read the
   // service (snapshot(), view(), even enqueue updates — not flush()).
@@ -179,6 +191,16 @@ uint64_t SldService::restore_publish(uint64_t epoch) {
   }
   subs_.notify(published);
   return epoch;
+}
+
+void SldService::set_epoch_tap(EpochTap tap) {
+  std::lock_guard<std::mutex> lk(flush_mu_);
+  tap_ = std::move(tap);
+  // Gap-free attachment contract (net/replication.hpp): every record
+  // logged before this call must be readable from the directory, and
+  // every later one reaches the tap — so flush the WAL's stdio tail to
+  // disk while we hold the lock.
+  if (persist_) persist_->sync_wal();
 }
 
 void SldService::attach_persistence(

@@ -48,6 +48,7 @@
 #include <memory>
 #include <mutex>
 #include <span>
+#include <string>
 #include <thread>
 
 #include "engine/broker.hpp"
@@ -269,6 +270,26 @@ class SldService {
   /// The attached persistence plane (null when not persisting).
   persist::PersistenceManager* persistence() const { return persist_.get(); }
 
+  /// In-memory tee of the durability stream — the replication feed
+  /// (net/replication.hpp). on_batch sees every flushed batch's epoch
+  /// record UNDER THE FLUSH LOCK, right after the WAL append, in
+  /// exactly the WAL's byte framing; on_checkpoint fires (same lock)
+  /// when a cadence checkpoint lands, with its epoch. Callbacks must be
+  /// cheap and must not call flush() or submit(). Either hook may be
+  /// null; replace with {} to detach. Recovery's restore_publish never
+  /// fires the tap (a replica bootstraps from disk, not from replay).
+  struct EpochTap {
+    /// Fired per published epoch with the exact WAL record bytes.
+    std::function<void(uint64_t epoch, const std::string& record)> on_batch;
+    /// Fired when a cadence checkpoint lands (its epoch).
+    std::function<void(uint64_t checkpoint_epoch)> on_checkpoint;
+  };
+  /// Install/replace/clear the tee (thread-safe vs concurrent
+  /// flushes). Also syncs the WAL tail to disk when persisting, so a
+  /// tap plus the directory see a gap-free record history no matter
+  /// when the tap attaches.
+  void set_epoch_tap(EpochTap tap);
+
  private:
   void writer_loop();
   void nudge_writer();
@@ -288,6 +309,7 @@ class SldService {
   // before broker_ — the destructor joins the dispatcher (the only
   // rehydration caller) before members die.
   std::unique_ptr<persist::PersistenceManager> persist_;
+  EpochTap tap_;  // guarded by flush_mu_ (set vs flush-path invocation)
   uint64_t next_epoch_ = 1;  // guarded by flush_mu_
   std::mutex flush_mu_;
 

@@ -16,7 +16,10 @@
 #include <atomic>
 #include <cstdint>
 #include <cstdio>
+#include <map>
 #include <memory>
+#include <shared_mutex>
+#include <string>
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -82,9 +85,11 @@ namespace dynsld::engine {
   X(broker_group_requests) /* per-group distinct requests */              \
   X(broker_epoch_waits)   /* AtLeastEpoch requests parked */              \
   X(broker_admission_rejects) /* intake over queue depth */               \
+  X(broker_quota_rejects)     /* over the client's weighted cap */        \
   X(broker_deadline_expired)  /* expired, never executed */               \
   X(broker_cancelled)         /* cancelled while queued */                \
   X(broker_shutdown_aborted)  /* resolved at shutdown */                  \
+  X(broker_drain_aborted)     /* parked waiters cut loose by a drain */   \
   X(broker_max_depth)         /* queue-depth high-water */                \
   /* -- persistence (WAL + checkpoints + recovery + AsOf) -- */           \
   X(wal_records)          /* epoch records appended */                    \
@@ -97,7 +102,17 @@ namespace dynsld::engine {
   X(recovery_replayed)    /* WAL records replayed at recover() */         \
   X(asof_retained)        /* AsOf served from the in-memory ring */       \
   X(asof_rehydrated)      /* AsOf served from a checkpoint file */        \
-  X(asof_unavailable)     /* AsOf outside the retained history */
+  X(asof_unavailable)     /* AsOf outside the retained history */         \
+  /* -- network front-end (src/net: RPC server + replication) -- */       \
+  X(net_frames_in)        /* frames decoded off the wire */               \
+  X(net_frames_out)       /* frames written to the wire */                \
+  X(net_bytes_in)                                                         \
+  X(net_bytes_out)                                                        \
+  X(net_frame_rejects)    /* bad magic/version/CRC/oversize: conn cut */  \
+  X(net_clients_accepted) /* connections accepted */                      \
+  X(repl_snapshots_served) /* bootstrap checkpoints sent to replicas */   \
+  X(repl_records_streamed) /* WAL records fanned out to replicas */       \
+  X(repl_records_applied)  /* records applied on the replica side */
 
 /// The engine's counter block (shared by the service, its snapshots
 /// and the views built over them). Thread-safe: all counters are
@@ -184,6 +199,88 @@ static_assert(sizeof(EngineStats::Report) ==
                   EngineStats::kNumCounters * sizeof(uint64_t),
               "EngineStats::Report drifted from DYNSLD_ENGINE_COUNTERS");
 
+/// Per-client request-plane accounting — the broker's QoS surface. One
+/// block per client id (QueryRequest::client), created on first sight.
+/// `weight`/`inflight` drive the weighted admission cap; the remaining
+/// counters are scraped under "broker.client.<id>.*". All relaxed
+/// atomics bumped from the submit/fulfill paths.
+struct ClientStats {
+  std::atomic<uint64_t> weight{1};           ///< admission weight (>= 1)
+  std::atomic<uint64_t> inflight{0};         ///< admitted, unresolved
+  std::atomic<uint64_t> submitted{0};        ///< requests admitted
+  std::atomic<uint64_t> fulfilled{0};        ///< resolved with results
+  std::atomic<uint64_t> quota_rejected{0};   ///< over the weighted cap
+  std::atomic<uint64_t> deadline_expired{0};  ///< dropped by deadline
+};
+
+/// Registry-backed table of ClientStats blocks. Lives inside EngineObs
+/// (not the broker) so the registered per-client counters share the
+/// bundle's lifetime — snapshots can keep the registry alive past the
+/// broker, and a late scrape must not chase freed counter storage.
+/// Thread-safe: lookups take a shared lock, first-sight creation an
+/// exclusive one; entries are never removed.
+class ClientStatsTable {
+ public:
+  /// Wire the registry the per-client counters register into (done once
+  /// by EngineObs's constructor, before any client can exist).
+  void attach(obs::MetricRegistry* reg) { registry_ = reg; }
+
+  /// The stats block of `client`, created — weight 1, counters
+  /// registered under "broker.client.<id>.*" — on first sight. The
+  /// pointer stays valid for the table's lifetime.
+  ClientStats* get(uint64_t client) {
+    {
+      std::shared_lock<std::shared_mutex> lk(mu_);
+      auto it = table_.find(client);
+      if (it != table_.end()) return it->second.get();
+    }
+    std::unique_lock<std::shared_mutex> lk(mu_);
+    auto [it, fresh] = table_.try_emplace(client);
+    if (!fresh) return it->second.get();
+    it->second = std::make_unique<ClientStats>();
+    ClientStats* cs = it->second.get();
+    total_weight_.fetch_add(1, std::memory_order_relaxed);
+    if (registry_) {
+      const std::string base = "broker.client." + std::to_string(client) + ".";
+      registry_->add_counter(base + "submitted", &cs->submitted);
+      registry_->add_counter(base + "fulfilled", &cs->fulfilled);
+      registry_->add_counter(base + "quota_rejected", &cs->quota_rejected);
+      registry_->add_counter(base + "deadline_expired", &cs->deadline_expired);
+    }
+    return cs;
+  }
+
+  /// Set a client's admission weight (0 clamps to 1), creating the
+  /// block if unseen. The total adjusts so every cap recomputes on the
+  /// next admission.
+  void set_weight(uint64_t client, uint64_t weight) {
+    if (weight == 0) weight = 1;
+    ClientStats* cs = get(client);
+    uint64_t old = cs->weight.exchange(weight, std::memory_order_relaxed);
+    if (weight >= old)
+      total_weight_.fetch_add(weight - old, std::memory_order_relaxed);
+    else
+      total_weight_.fetch_sub(old - weight, std::memory_order_relaxed);
+  }
+
+  /// Sum of every client's weight (0 until the first client appears).
+  uint64_t total_weight() const {
+    return total_weight_.load(std::memory_order_relaxed);
+  }
+
+  /// Distinct client ids seen.
+  size_t size() const {
+    std::shared_lock<std::shared_mutex> lk(mu_);
+    return table_.size();
+  }
+
+ private:
+  mutable std::shared_mutex mu_;
+  std::map<uint64_t, std::unique_ptr<ClientStats>> table_;
+  std::atomic<uint64_t> total_weight_{0};
+  obs::MetricRegistry* registry_ = nullptr;
+};
+
 /// The engine's full observability bundle: the counter block, the
 /// metric registry it is registered into (one scrape surface), the
 /// span trace ring, and the pre-registered latency histograms the hot
@@ -196,6 +293,9 @@ struct EngineObs {
   EngineStats stats;
   obs::MetricRegistry registry;
   obs::TraceRing trace;
+  /// Per-client QoS accounting (broker weighted admission); counters
+  /// register lazily under "broker.client.<id>.*".
+  ClientStatsTable clients;
 
   // -- flush pipeline stages (recorded per flush / per shard) --
   obs::LatencyHistogram* flush_drain;
@@ -227,6 +327,7 @@ struct EngineObs {
   /// creates the histogram set. Gauges tied to a live service
   /// (epoch, queue depths) are added by SldService at construction.
   EngineObs() {
+    clients.attach(&registry);
     stats.for_each([this](const char* name, const std::atomic<uint64_t>& c) {
       registry.add_counter(std::string("engine.") + name, &c);
     });
@@ -341,6 +442,21 @@ inline void print_report(const EngineStats::Report& r, std::FILE* out = stdout) 
                  (unsigned long long)r.asof_retained,
                  (unsigned long long)r.asof_rehydrated,
                  (unsigned long long)r.asof_unavailable);
+  if (r.net_frames_in || r.net_frames_out || r.repl_records_applied)
+    std::fprintf(out,
+                 "network: %llu frames in (%llu B) / %llu out (%llu B)  "
+                 "%llu rejects  %llu clients  quota rejects %llu  repl %llu "
+                 "streamed / %llu applied / %llu bootstraps\n",
+                 (unsigned long long)r.net_frames_in,
+                 (unsigned long long)r.net_bytes_in,
+                 (unsigned long long)r.net_frames_out,
+                 (unsigned long long)r.net_bytes_out,
+                 (unsigned long long)r.net_frame_rejects,
+                 (unsigned long long)r.net_clients_accepted,
+                 (unsigned long long)r.broker_quota_rejects,
+                 (unsigned long long)r.repl_records_streamed,
+                 (unsigned long long)r.repl_records_applied,
+                 (unsigned long long)r.repl_snapshots_served);
 }
 
 }  // namespace dynsld::engine

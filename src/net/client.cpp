@@ -1,0 +1,96 @@
+#include "net/client.hpp"
+
+#include <stdexcept>
+
+namespace dynsld::net {
+
+namespace {
+
+/// Blocking frame read (same shape as the replica's helper).
+bool read_frame(int fd, FrameParser& parser, Frame* out) {
+  for (;;) {
+    switch (parser.next(out)) {
+      case FrameParser::Status::kFrame:
+        return true;
+      case FrameParser::Status::kBad:
+        return false;
+      case FrameParser::Status::kNeedMore:
+        break;
+    }
+    char buf[64 * 1024];
+    long n = recv_some(fd, buf, sizeof buf);
+    if (n <= 0) return false;
+    parser.feed(buf, static_cast<size_t>(n));
+  }
+}
+
+}  // namespace
+
+RpcClient::RpcClient(const std::string& host, uint16_t port, Options opt) {
+  fd_ = tcp_connect(host, port);
+  if (!fd_.valid())
+    throw std::runtime_error("RpcClient: cannot connect to " + host + ":" +
+                             std::to_string(port));
+  Hello hello;
+  hello.client_id = opt.client_id;
+  hello.weight = opt.weight;
+  hello.role = kRoleClient;
+  std::string frame = encode_frame(MsgType::kHello, encode_hello(hello));
+  if (!send_all(fd_.get(), frame.data(), frame.size())) {
+    fd_.reset();
+    throw std::runtime_error("RpcClient: hello send failed");
+  }
+  Frame f;
+  if (!read_frame(fd_.get(), parser_, &f) || f.type != MsgType::kHelloAck ||
+      !decode_hello_ack(f.payload, &ack_)) {
+    fd_.reset();
+    throw std::runtime_error("RpcClient: handshake failed");
+  }
+}
+
+bool RpcClient::roundtrip(MsgType send_type, const std::string& payload,
+                          Frame* reply) {
+  if (!fd_.valid()) return false;
+  std::string frame = encode_frame(send_type, payload);
+  if (!send_all(fd_.get(), frame.data(), frame.size()) ||
+      !read_frame(fd_.get(), parser_, reply)) {
+    fd_.reset();  // transport dead: sticky disconnect
+    return false;
+  }
+  return true;
+}
+
+engine::ResultSet RpcClient::query(const engine::QueryRequest& req) {
+  const uint64_t id = next_request_id_++;
+  std::string payload;
+  if (!encode_query(id, req, std::chrono::steady_clock::now(), &payload))
+    throw std::invalid_argument(
+        "RpcClient: Pinned consistency is not wire-encodable");
+  Frame reply;
+  if (!roundtrip(MsgType::kQuery, payload, &reply))
+    throw std::runtime_error("RpcClient: transport failure");
+  uint64_t reply_id = 0;
+  if (reply.type == MsgType::kError) {
+    engine::QueryErrorCode code;
+    if (!decode_error(reply.payload, &reply_id, &code) || reply_id != id) {
+      fd_.reset();
+      throw std::runtime_error("RpcClient: malformed error frame");
+    }
+    throw engine::QueryError(code);  // same type as in-process get()
+  }
+  engine::ResultSet rs;
+  if (reply.type != MsgType::kResult ||
+      !decode_result(reply.payload, &reply_id, &rs) || reply_id != id) {
+    fd_.reset();
+    throw std::runtime_error("RpcClient: malformed result frame");
+  }
+  return rs;
+}
+
+bool RpcClient::ping() {
+  Frame reply;
+  return roundtrip(MsgType::kPing, std::string(), &reply) &&
+         reply.type == MsgType::kPong;
+}
+
+}  // namespace dynsld::net

@@ -1,0 +1,73 @@
+// RpcClient: a small blocking client for the RpcServer — the test /
+// bench / example counterpart of the nonblocking server.
+//
+// One connection, one outstanding request at a time (submit-and-wait):
+// query() sends a kQuery frame and blocks until the matching kResult
+// or kError arrives, decoding the former into a ResultSet and throwing
+// the latter as the SAME typed engine::QueryError an in-process
+// submit() would have thrown — so a caller cannot tell (other than by
+// latency) whether it crossed a wire. Transport failures (server gone,
+// protocol poison) throw std::runtime_error instead: they are not
+// query outcomes.
+//
+// NOT thread-safe: share nothing, or use one client per thread (the
+// server multiplexes connections cheaply). For pipelined or massively
+// concurrent traffic, talk to the server from many clients — that is
+// the shape the broker's cross-client batching rewards anyway.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "engine/query.hpp"
+#include "net/protocol.hpp"
+#include "net/socket.hpp"
+
+namespace dynsld::net {
+
+/// Blocking RPC client (see the header comment).
+class RpcClient {
+ public:
+  /// Identity options sent in the hello.
+  struct Options {
+    /// QoS client id (0 = anonymous pool; see QueryRequest::client).
+    uint64_t client_id = 0;
+    /// Requested admission weight for that id.
+    uint32_t weight = 1;
+  };
+
+  /// Connect and handshake; throws std::runtime_error on failure.
+  RpcClient(const std::string& host, uint16_t port, Options opt);
+  RpcClient(const std::string& host, uint16_t port)
+      : RpcClient(host, port, Options()) {}
+
+  RpcClient(const RpcClient&) = delete;
+  RpcClient& operator=(const RpcClient&) = delete;
+
+  /// The server's hello ack: epoch at connect time + engine shape.
+  const HelloAck& ack() const { return ack_; }
+
+  /// Submit-and-wait one request across the wire. Throws
+  /// engine::QueryError exactly like an in-process submit()'s
+  /// future.get(); throws std::runtime_error on transport failure.
+  /// Pinned consistency is rejected (std::invalid_argument) — a
+  /// snapshot pointer has no remote meaning.
+  engine::ResultSet query(const engine::QueryRequest& req);
+
+  /// Liveness echo: kPing/kPong round trip. False on any failure.
+  bool ping();
+
+  /// Is the socket still believed healthy? (Sticky false after any
+  /// transport error.)
+  bool connected() const { return fd_.valid(); }
+
+ private:
+  bool roundtrip(MsgType send_type, const std::string& payload, Frame* reply);
+
+  Fd fd_;
+  FrameParser parser_;
+  HelloAck ack_;
+  uint64_t next_request_id_ = 1;
+};
+
+}  // namespace dynsld::net

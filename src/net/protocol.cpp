@@ -1,0 +1,347 @@
+#include "net/protocol.hpp"
+
+#include <cassert>
+#include <cstring>
+
+#include "persist/bytes.hpp"
+#include "persist/crc32c.hpp"
+
+namespace dynsld::net {
+
+using persist::ByteReader;
+using persist::ByteWriter;
+
+namespace {
+
+// Relative-timeout sentinel: "no deadline" on the wire.
+constexpr uint32_t kNoTimeout = 0xFFFFFFFFu;
+
+// Consistency kinds on the wire (Pinned deliberately absent).
+constexpr uint8_t kConsLatest = 0;
+constexpr uint8_t kConsAtLeastEpoch = 1;
+constexpr uint8_t kConsAsOf = 2;
+
+// Query kinds on the wire, positional with engine::Query alternatives.
+constexpr uint8_t kQSameCluster = 0;
+constexpr uint8_t kQClusterSize = 1;
+constexpr uint8_t kQClusterReport = 2;
+constexpr uint8_t kQFlatClustering = 3;
+constexpr uint8_t kQSizeHistogram = 4;
+constexpr uint8_t kQNumClusters = 5;
+
+// Result kinds, positional with engine::QueryResult alternatives.
+constexpr uint8_t kRBool = 0;
+constexpr uint8_t kRU64 = 1;
+constexpr uint8_t kRVertexVec = 2;
+constexpr uint8_t kRHistogram = 3;
+
+}  // namespace
+
+namespace {
+
+// The frame checksum covers the type byte AND the payload (chained
+// CRC): magic/version/len are validated structurally, but without this
+// a single bit flip could relabel a valid kResult as a valid kError.
+uint32_t frame_crc(uint8_t type, const char* payload, size_t len) {
+  const char t = static_cast<char>(type);
+  uint32_t crc = persist::crc32c(&t, 1);
+  return len ? persist::crc32c(payload, len, crc) : crc;
+}
+
+}  // namespace
+
+std::string encode_frame(MsgType type, std::string_view payload) {
+  assert(payload.size() <= kMaxFrameBytes);
+  ByteWriter w;
+  w.u32(kProtoMagic);
+  w.u8(kProtoVersion);
+  w.u8(static_cast<uint8_t>(type));
+  w.u8(0);  // reserved
+  w.u8(0);
+  w.u32(static_cast<uint32_t>(payload.size()));
+  w.u32(frame_crc(static_cast<uint8_t>(type), payload.data(), payload.size()));
+  if (!payload.empty()) w.raw(payload.data(), payload.size());
+  return w.take();
+}
+
+void FrameParser::feed(const char* data, size_t n) {
+  if (bad_) return;
+  // Compact the consumed prefix before growing (bounded memory even on
+  // long-lived streams).
+  if (off_ > 0 && (off_ == buf_.size() || off_ >= 4096)) {
+    buf_.erase(0, off_);
+    off_ = 0;
+  }
+  buf_.append(data, n);
+}
+
+FrameParser::Status FrameParser::next(Frame* out) {
+  if (bad_) return Status::kBad;
+  if (buf_.size() - off_ < kFrameHeaderBytes) return Status::kNeedMore;
+  ByteReader h(buf_.data() + off_, kFrameHeaderBytes);
+  const uint32_t magic = h.u32();
+  const uint8_t version = h.u8();
+  const uint8_t type = h.u8();
+  h.u8();  // reserved
+  h.u8();
+  const uint32_t len = h.u32();
+  const uint32_t crc = h.u32();
+  if (magic != kProtoMagic || version != kProtoVersion ||
+      len > kMaxFrameBytes || type < uint8_t(MsgType::kHello) ||
+      type > uint8_t(MsgType::kWalRecord)) {
+    bad_ = true;
+    return Status::kBad;
+  }
+  if (buf_.size() - off_ - kFrameHeaderBytes < len) return Status::kNeedMore;
+  const char* payload = buf_.data() + off_ + kFrameHeaderBytes;
+  if (frame_crc(type, payload, len) != crc) {
+    bad_ = true;
+    return Status::kBad;
+  }
+  out->type = static_cast<MsgType>(type);
+  out->payload.assign(payload, len);
+  off_ += kFrameHeaderBytes + len;
+  return Status::kFrame;
+}
+
+std::string encode_hello(const Hello& h) {
+  ByteWriter w;
+  w.u64(h.client_id);
+  w.u32(h.weight);
+  w.u8(h.role);
+  return w.take();
+}
+
+bool decode_hello(const std::string& payload, Hello* out) {
+  ByteReader r(payload);
+  out->client_id = r.u64();
+  out->weight = r.u32();
+  out->role = r.u8();
+  return r.ok() && r.remaining() == 0 &&
+         (out->role == kRoleClient || out->role == kRoleReplica);
+}
+
+std::string encode_hello_ack(const HelloAck& a) {
+  ByteWriter w;
+  w.u64(a.epoch);
+  w.u32(a.num_vertices);
+  w.u32(a.num_shards);
+  return w.take();
+}
+
+bool decode_hello_ack(const std::string& payload, HelloAck* out) {
+  ByteReader r(payload);
+  out->epoch = r.u64();
+  out->num_vertices = r.u32();
+  out->num_shards = r.u32();
+  return r.ok() && r.remaining() == 0;
+}
+
+bool encode_query(uint64_t request_id, const engine::QueryRequest& req,
+                  std::chrono::steady_clock::time_point now,
+                  std::string* out) {
+  ByteWriter w;
+  w.u64(request_id);
+  if (std::holds_alternative<engine::Latest>(req.consistency)) {
+    w.u8(kConsLatest);
+    w.u64(0);
+  } else if (const auto* ae =
+                 std::get_if<engine::AtLeastEpoch>(&req.consistency)) {
+    w.u8(kConsAtLeastEpoch);
+    w.u64(ae->epoch);
+  } else if (const auto* ao = std::get_if<engine::AsOf>(&req.consistency)) {
+    w.u8(kConsAsOf);
+    w.u64(ao->epoch);
+  } else {
+    return false;  // Pinned: a snapshot pointer has no remote meaning
+  }
+  if (req.deadline == engine::Deadline::max()) {
+    w.u32(kNoTimeout);
+  } else {
+    int64_t ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                     req.deadline - now)
+                     .count();
+    if (ms < 0) ms = 0;
+    if (ms >= int64_t(kNoTimeout)) ms = kNoTimeout - 1;
+    w.u32(static_cast<uint32_t>(ms));
+  }
+  w.u32(static_cast<uint32_t>(req.queries.size()));
+  for (const engine::Query& q : req.queries) {
+    if (const auto* sc = std::get_if<engine::SameClusterQuery>(&q)) {
+      w.u8(kQSameCluster);
+      w.u32(sc->u);
+      w.u32(sc->v);
+      w.f64(sc->tau);
+    } else if (const auto* cs = std::get_if<engine::ClusterSizeQuery>(&q)) {
+      w.u8(kQClusterSize);
+      w.u32(cs->u);
+      w.f64(cs->tau);
+    } else if (const auto* cr = std::get_if<engine::ClusterReportQuery>(&q)) {
+      w.u8(kQClusterReport);
+      w.u32(cr->u);
+      w.f64(cr->tau);
+    } else if (const auto* fc = std::get_if<engine::FlatClusteringQuery>(&q)) {
+      w.u8(kQFlatClustering);
+      w.f64(fc->tau);
+    } else if (const auto* sh = std::get_if<engine::SizeHistogramQuery>(&q)) {
+      w.u8(kQSizeHistogram);
+      w.f64(sh->tau);
+    } else if (const auto* nc = std::get_if<engine::NumClustersQuery>(&q)) {
+      w.u8(kQNumClusters);
+      w.f64(nc->tau);
+    }
+  }
+  *out = w.take();
+  return true;
+}
+
+bool decode_query(const std::string& payload, uint64_t* request_id,
+                  engine::QueryRequest* out,
+                  std::chrono::steady_clock::time_point now) {
+  ByteReader r(payload);
+  *request_id = r.u64();
+  const uint8_t cons = r.u8();
+  const uint64_t epoch = r.u64();
+  switch (cons) {
+    case kConsLatest:
+      out->consistency = engine::Latest{};
+      break;
+    case kConsAtLeastEpoch:
+      out->consistency = engine::AtLeastEpoch{epoch};
+      break;
+    case kConsAsOf:
+      out->consistency = engine::AsOf{epoch};
+      break;
+    default:
+      return false;
+  }
+  const uint32_t timeout_ms = r.u32();
+  out->deadline = timeout_ms == kNoTimeout
+                      ? engine::Deadline::max()
+                      : now + std::chrono::milliseconds(timeout_ms);
+  const uint32_t n = r.u32();
+  out->queries.clear();
+  for (uint32_t i = 0; i < n && r.ok(); ++i) {
+    const uint8_t kind = r.u8();
+    switch (kind) {
+      case kQSameCluster: {
+        engine::SameClusterQuery q{};
+        q.u = r.u32();
+        q.v = r.u32();
+        q.tau = r.f64();
+        out->queries.emplace_back(q);
+        break;
+      }
+      case kQClusterSize: {
+        engine::ClusterSizeQuery q{};
+        q.u = r.u32();
+        q.tau = r.f64();
+        out->queries.emplace_back(q);
+        break;
+      }
+      case kQClusterReport: {
+        engine::ClusterReportQuery q{};
+        q.u = r.u32();
+        q.tau = r.f64();
+        out->queries.emplace_back(q);
+        break;
+      }
+      case kQFlatClustering:
+        out->queries.emplace_back(engine::FlatClusteringQuery{r.f64()});
+        break;
+      case kQSizeHistogram:
+        out->queries.emplace_back(engine::SizeHistogramQuery{r.f64()});
+        break;
+      case kQNumClusters:
+        out->queries.emplace_back(engine::NumClustersQuery{r.f64()});
+        break;
+      default:
+        return false;
+    }
+  }
+  return r.ok() && r.remaining() == 0 && out->queries.size() == n;
+}
+
+std::string encode_result(uint64_t request_id, const engine::ResultSet& rs) {
+  ByteWriter w;
+  w.u64(request_id);
+  w.u64(rs.epoch);
+  w.u32(static_cast<uint32_t>(rs.results.size()));
+  for (const engine::QueryResult& res : rs.results) {
+    if (const auto* b = std::get_if<bool>(&res)) {
+      w.u8(kRBool);
+      w.u8(*b ? 1 : 0);
+    } else if (const auto* u = std::get_if<uint64_t>(&res)) {
+      w.u8(kRU64);
+      w.u64(*u);
+    } else if (const auto* v = std::get_if<std::vector<vertex_id>>(&res)) {
+      w.u8(kRVertexVec);
+      w.pod_vec(*v);
+    } else if (const auto* h = std::get_if<engine::SizeHistogram>(&res)) {
+      w.u8(kRHistogram);
+      w.u64(h->bins.size());
+      for (const auto& [size, count] : h->bins) {
+        w.u64(size);
+        w.u64(count);
+      }
+    }
+  }
+  return w.take();
+}
+
+bool decode_result(const std::string& payload, uint64_t* request_id,
+                   engine::ResultSet* out) {
+  ByteReader r(payload);
+  *request_id = r.u64();
+  out->epoch = r.u64();
+  const uint32_t n = r.u32();
+  out->results.clear();
+  for (uint32_t i = 0; i < n && r.ok(); ++i) {
+    switch (r.u8()) {
+      case kRBool:
+        out->results.emplace_back(r.u8() != 0);
+        break;
+      case kRU64:
+        out->results.emplace_back(r.u64());
+        break;
+      case kRVertexVec:
+        out->results.emplace_back(r.pod_vec<vertex_id>());
+        break;
+      case kRHistogram: {
+        engine::SizeHistogram h;
+        const uint64_t nbins = r.u64();
+        if (nbins > r.remaining() / 16) return false;  // implausible count
+        h.bins.reserve(static_cast<size_t>(nbins));
+        for (uint64_t b = 0; b < nbins && r.ok(); ++b) {
+          uint64_t size = r.u64();
+          uint64_t count = r.u64();
+          h.bins.emplace_back(size, count);
+        }
+        out->results.emplace_back(std::move(h));
+        break;
+      }
+      default:
+        return false;
+    }
+  }
+  return r.ok() && r.remaining() == 0 && out->results.size() == n;
+}
+
+std::string encode_error(uint64_t request_id, engine::QueryErrorCode code) {
+  ByteWriter w;
+  w.u64(request_id);
+  w.u8(static_cast<uint8_t>(code));
+  return w.take();
+}
+
+bool decode_error(const std::string& payload, uint64_t* request_id,
+                  engine::QueryErrorCode* out) {
+  ByteReader r(payload);
+  *request_id = r.u64();
+  const uint8_t code = r.u8();
+  if (code > uint8_t(engine::QueryErrorCode::kEpochUnavailable)) return false;
+  *out = static_cast<engine::QueryErrorCode>(code);
+  return r.ok() && r.remaining() == 0;
+}
+
+}  // namespace dynsld::net

@@ -1,0 +1,156 @@
+// The wire protocol of the network front-end: length-prefixed,
+// versioned, checksummed frames carrying query traffic and the
+// writer→replica replication stream.
+//
+// Every frame is a 16-byte header followed by a payload:
+//
+//   u32 magic        0x314E5344 ("DSN1" as bytes on the wire)
+//   u8  version      1
+//   u8  type         MsgType
+//   u16 reserved     0
+//   u32 payload_len  <= kMaxFrameBytes (64 MiB)
+//   u32 crc32c       Castagnoli CRC chained over the type byte then
+//                    the payload (persist/crc32c.hpp — the same helper
+//                    the WAL uses). Covering the type closes the
+//                    one-bit-flip hole where a valid kResult frame
+//                    relabels as a valid kError frame.
+//
+// (all integers little-endian, like the persist formats — full byte
+// tables in docs/NETWORK.md). A header that fails magic/version/length
+// validation, or a payload that fails its CRC, poisons the connection:
+// FrameParser reports kBad and the peer drops the socket. There is no
+// resync — after arbitrary corruption the only safe framing state is a
+// fresh connection.
+//
+// Message payloads reuse the persist ByteWriter/ByteReader codec, so
+// the replication frames can carry WAL record bytes VERBATIM: what a
+// replica applies is bit-for-bit what recovery would have read from
+// disk. Deadlines cross the wire as relative timeouts (milliseconds
+// remaining) because steady_clock points are process-local; Pinned
+// consistency is not wire-encodable (a snapshot pointer has no remote
+// meaning) and is rejected at encode time.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "engine/query.hpp"
+
+namespace dynsld::net {
+
+/// Frame header magic ("DSN1" read as a little-endian u32).
+constexpr uint32_t kProtoMagic = 0x314E5344;
+/// Wire protocol version; a mismatch poisons the connection.
+constexpr uint8_t kProtoVersion = 1;
+/// Fixed frame header size in bytes.
+constexpr size_t kFrameHeaderBytes = 16;
+/// Upper bound on a frame payload — anything larger is corruption (or
+/// abuse), not traffic: a full checkpoint of a billion-edge engine
+/// fits well under this.
+constexpr uint32_t kMaxFrameBytes = 64u << 20;
+
+/// Frame types. Query traffic: kHello/kHelloAck handshake, then
+/// kQuery frames answered by kResult or kError (correlated by request
+/// id). Replication: after a kRoleReplica hello, the server pushes one
+/// kCheckpoint then a stream of kWalRecord frames. kPing/kPong is the
+/// liveness echo (netctl's connectivity probe).
+enum class MsgType : uint8_t {
+  kHello = 1,       ///< client → server: proto, identity, role
+  kHelloAck = 2,    ///< server → client: epoch + engine shape
+  kQuery = 3,       ///< client → server: one QueryRequest
+  kResult = 4,      ///< server → client: the fulfilled ResultSet
+  kError = 5,       ///< server → client: typed QueryError
+  kPing = 6,        ///< liveness probe
+  kPong = 7,        ///< liveness echo
+  kCheckpoint = 8,  ///< replication bootstrap: raw checkpoint file bytes
+  kWalRecord = 9,   ///< replication delta: one framed WAL record
+};
+
+/// One decoded frame: the type tag and its payload bytes.
+struct Frame {
+  MsgType type = MsgType::kPing;
+  std::string payload;
+};
+
+/// Serialize a frame (header + payload) ready for the socket.
+/// Payloads over kMaxFrameBytes are a caller bug (checked via assert;
+/// nothing the engine produces approaches the cap).
+std::string encode_frame(MsgType type, std::string_view payload);
+
+/// Incremental frame decoder: feed() raw socket bytes, then next()
+/// until it stops returning kFrame. kBad is sticky — validation failed
+/// and the connection must be dropped (see the header comment).
+class FrameParser {
+ public:
+  /// next() outcomes (see class comment).
+  enum class Status { kNeedMore, kFrame, kBad };
+
+  /// Append raw bytes from the socket.
+  void feed(const char* data, size_t n);
+  /// Extract the next complete, validated frame into *out.
+  Status next(Frame* out);
+  /// Bytes buffered but not yet consumed (tests/introspection).
+  size_t buffered() const { return buf_.size() - off_; }
+
+ private:
+  std::string buf_;
+  size_t off_ = 0;  // consumed prefix (compacted opportunistically)
+  bool bad_ = false;
+};
+
+/// Connection roles carried in the hello (who is dialing in).
+constexpr uint8_t kRoleClient = 0;
+/// Replica role: the connection becomes a one-way replication stream.
+constexpr uint8_t kRoleReplica = 1;
+
+/// The hello payload: protocol number, QoS identity, and role.
+struct Hello {
+  /// QoS client id (QueryRequest::client); 0 = anonymous pool.
+  uint64_t client_id = 0;
+  /// Requested admission weight (server applies it to the client id).
+  uint32_t weight = 1;
+  /// kRoleClient or kRoleReplica.
+  uint8_t role = kRoleClient;
+};
+
+/// The hello acknowledgement: current epoch plus the engine shape a
+/// replica must replicate exactly (mismatch = refuse to bootstrap).
+struct HelloAck {
+  uint64_t epoch = 0;
+  uint32_t num_vertices = 0;
+  uint32_t num_shards = 0;
+};
+
+/// Encode/decode the handshake payloads (decode returns false on any
+/// malformed payload; one comment covers the run).
+std::string encode_hello(const Hello& h);
+bool decode_hello(const std::string& payload, Hello* out);
+std::string encode_hello_ack(const HelloAck& a);
+bool decode_hello_ack(const std::string& payload, HelloAck* out);
+
+/// Encode a query frame payload: request id + the request, with the
+/// deadline converted to a relative timeout against `now`. Returns
+/// false — encoding nothing — for a Pinned request (not
+/// wire-encodable; see the header comment).
+bool encode_query(uint64_t request_id, const engine::QueryRequest& req,
+                  std::chrono::steady_clock::time_point now, std::string* out);
+
+/// Decode a query frame payload; the relative timeout is re-anchored
+/// to `now` on the receiving side (one-way network delay eats into the
+/// budget, which is the conservative direction).
+bool decode_query(const std::string& payload, uint64_t* request_id,
+                  engine::QueryRequest* out,
+                  std::chrono::steady_clock::time_point now);
+
+/// Encode/decode a result frame payload (request id + ResultSet).
+std::string encode_result(uint64_t request_id, const engine::ResultSet& rs);
+bool decode_result(const std::string& payload, uint64_t* request_id,
+                   engine::ResultSet* out);
+
+/// Encode/decode an error frame payload (request id + error code).
+std::string encode_error(uint64_t request_id, engine::QueryErrorCode code);
+bool decode_error(const std::string& payload, uint64_t* request_id,
+                  engine::QueryErrorCode* out);
+
+}  // namespace dynsld::net

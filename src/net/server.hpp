@@ -1,0 +1,160 @@
+// RpcServer: the poll()-based network front door over an SldService.
+//
+// One background thread owns everything: the loopback listening
+// socket, every connection's frame parser and outbox, and the pending
+// request table. The loop never blocks on the engine — a decoded
+// kQuery becomes a broker submit whose future is parked in the pending
+// table, and the request's on_complete hook (query.hpp) pushes the id
+// onto a completion queue that wakes the loop through a pipe; the loop
+// then collects the ready future and writes the kResult/kError frame
+// back. The dispatcher thread never touches a socket, the poll thread
+// never waits on a future: a slow query delays nothing but itself.
+//
+//   client ──frames──> poll thread ──submit()──> broker dispatcher
+//     ^                    ^                          |
+//     └────kResult─────────┴── completion pipe <──────┘ (on_complete)
+//
+// Role split: a kRoleReplica hello turns the connection into a
+// one-way replication stream (kCheckpoint bootstrap + live kWalRecord
+// frames from the service's ReplicationSource — created automatically
+// when the service persists; replica hellos to a non-persisted server
+// are refused by closing the connection).
+//
+// QoS: a kRoleClient hello's (client_id, weight) registers the client
+// in the broker's weighted admission (broker.hpp); every query on the
+// connection then carries that identity, so one saturating tenant
+// exhausts its own queue share instead of the fleet's.
+//
+// Shutdown drains: stop() closes the listener, aborts parked epoch
+// waiters (QueryBroker::abort_waiters — the explicit wake that keeps a
+// drain from parking forever on an idle engine), waits for in-flight
+// requests up to drain_timeout while still flushing responses, then
+// closes every connection.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "engine/sld_service.hpp"
+#include "net/protocol.hpp"
+#include "net/replication.hpp"
+#include "net/socket.hpp"
+
+namespace dynsld::net {
+
+/// The network front door (see the header comment). Owns its listening
+/// socket and poll thread; borrows the service, which must outlive it.
+class RpcServer {
+ public:
+  /// Construction-time knobs.
+  struct Options {
+    /// Listening port on 127.0.0.1 (0 = ephemeral; read it back with
+    /// port()).
+    uint16_t port = 0;
+    /// How long stop() keeps draining in-flight requests before
+    /// cutting the remaining connections loose.
+    std::chrono::milliseconds drain_timeout{2000};
+  };
+
+  /// Binds, primes the replication feed when `svc` persists, and
+  /// starts the poll thread. Throws std::runtime_error when the port
+  /// cannot be bound.
+  RpcServer(engine::SldService& svc, Options opt);
+  explicit RpcServer(engine::SldService& svc) : RpcServer(svc, Options()) {}
+  /// Implies stop().
+  ~RpcServer();
+
+  RpcServer(const RpcServer&) = delete;
+  RpcServer& operator=(const RpcServer&) = delete;
+
+  /// The bound port (resolves an ephemeral request).
+  uint16_t port() const { return port_; }
+
+  /// Drain and shut down (idempotent; see the header comment).
+  void stop();
+
+  /// Live connection count (tests/metrics).
+  size_t connections() const {
+    return conn_count_.load(std::memory_order_acquire);
+  }
+
+ private:
+  /// Completion mailbox between whatever thread resolves a future and
+  /// the poll loop. Held by shared_ptr so late on_complete callbacks
+  /// (requests resolving after server death) write into a mailbox that
+  /// is still alive, harmlessly.
+  struct CompletionQueue {
+    std::mutex mu;
+    std::vector<std::pair<uint64_t, uint64_t>> done;  // (conn id, req id)
+    WakePipe pipe;
+
+    void push(uint64_t conn_id, uint64_t request_id) {
+      {
+        std::lock_guard<std::mutex> lk(mu);
+        done.emplace_back(conn_id, request_id);
+      }
+      pipe.wake();
+    }
+    std::vector<std::pair<uint64_t, uint64_t>> drain() {
+      pipe.drain();
+      std::lock_guard<std::mutex> lk(mu);
+      return std::move(done);
+    }
+  };
+
+  /// One connection's state (poll-thread-only).
+  struct Conn {
+    Fd fd;
+    uint64_t id = 0;
+    FrameParser parser;
+    std::string outbox;
+    size_t out_off = 0;
+    uint64_t client_id = 0;  // QoS identity from the hello
+    bool is_replica = false;
+    uint64_t repl_sent = 0;  // replication high-water mark
+  };
+
+  void loop();
+  void accept_ready();
+  bool read_ready(Conn& c);    // false = close the connection
+  bool handle_frame(Conn& c, Frame&& f);
+  void flush(Conn& c);
+  void fan_out_replication();
+  void collect_completions();
+  void close_conn(uint64_t id);
+
+  engine::SldService& svc_;
+  Options opt_;
+  std::shared_ptr<engine::EngineObs> obs_;
+  Fd listen_;
+  uint16_t port_ = 0;
+  WakePipe wake_;  // stop() + replication arrivals
+  std::shared_ptr<CompletionQueue> cq_;
+  std::unique_ptr<ReplicationSource> repl_;
+
+  std::atomic<bool> stopping_{false};
+  std::atomic<size_t> conn_count_{0};
+  std::mutex stop_mu_;  // serializes stop() callers
+  std::thread thread_;
+
+  // Poll-thread-only state.
+  std::map<uint64_t, Conn> conns_;
+  std::map<std::pair<uint64_t, uint64_t>, std::future<engine::ResultSet>>
+      pending_;
+  uint64_t next_conn_id_ = 1;
+
+  /// A connection that buffers more than this without reading is
+  /// broken or hostile — close it rather than queue unboundedly.
+  static constexpr size_t kMaxOutboxBytes = 256u << 20;
+};
+
+}  // namespace dynsld::net

@@ -1,0 +1,117 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace dynsld::net {
+
+void Fd::reset(int fd) {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = fd;
+}
+
+Fd tcp_listen(uint16_t port, int backlog) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return {};
+  int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // never off-host
+  addr.sin_port = htons(port);
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0)
+    return {};
+  if (::listen(fd.get(), backlog) != 0) return {};
+  return fd;
+}
+
+Fd tcp_connect(const std::string& host, uint16_t port) {
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  char port_str[8];
+  std::snprintf(port_str, sizeof port_str, "%u", unsigned(port));
+  if (::getaddrinfo(host.c_str(), port_str, &hints, &res) != 0 || !res)
+    return {};
+  Fd fd(::socket(res->ai_family, res->ai_socktype, res->ai_protocol));
+  bool ok = fd.valid() &&
+            ::connect(fd.get(), res->ai_addr, res->ai_addrlen) == 0;
+  ::freeaddrinfo(res);
+  if (!ok) return {};
+  int one = 1;
+  ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+uint16_t local_port(int fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0)
+    return 0;
+  return ntohs(addr.sin_port);
+}
+
+bool set_nonblocking(int fd, bool on) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return false;
+  flags = on ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  return ::fcntl(fd, F_SETFL, flags) == 0;
+}
+
+bool send_all(int fd, const void* data, size_t n) {
+  const char* p = static_cast<const char*>(data);
+  while (n > 0) {
+    ssize_t w = ::send(fd, p, n, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (w == 0) return false;
+    p += w;
+    n -= static_cast<size_t>(w);
+  }
+  return true;
+}
+
+long recv_some(int fd, void* buf, size_t n) {
+  for (;;) {
+    ssize_t r = ::recv(fd, buf, n, 0);
+    if (r < 0 && errno == EINTR) continue;
+    return static_cast<long>(r);
+  }
+}
+
+WakePipe::WakePipe() {
+  int fds[2];
+  if (::pipe(fds) != 0) std::abort();  // boot-time plumbing, not recoverable
+  r_.reset(fds[0]);
+  w_.reset(fds[1]);
+  set_nonblocking(r_.get(), true);
+  set_nonblocking(w_.get(), true);
+}
+
+void WakePipe::wake() {
+  char b = 1;
+  // A full pipe already holds a pending wake; any other failure just
+  // delays the loop until its next timeout tick.
+  [[maybe_unused]] ssize_t rc = ::write(w_.get(), &b, 1);
+}
+
+void WakePipe::drain() {
+  char buf[64];
+  while (::read(r_.get(), buf, sizeof buf) > 0) {
+  }
+}
+
+}  // namespace dynsld::net

@@ -1,0 +1,105 @@
+// Minimal POSIX TCP plumbing for the network front-end: an RAII
+// descriptor, loopback listen/connect helpers, and a self-wake pipe
+// for poll() loops.
+//
+// Deliberately thin — no event-loop framework, no extra dependencies:
+// the server (net/server.hpp) is a single poll() thread, the client
+// (net/client.hpp) a blocking socket, and everything here is the
+// handful of syscall wrappers both need. Sends use MSG_NOSIGNAL so a
+// dead peer surfaces as an error return, never SIGPIPE. Listeners bind
+// 127.0.0.1 only: the protocol is unauthenticated, so it must not be
+// reachable off-host (docs/NETWORK.md).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace dynsld::net {
+
+/// RAII POSIX file descriptor: closes on destruction, move-only.
+class Fd {
+ public:
+  /// Empty handle (no descriptor).
+  Fd() = default;
+  /// Adopt ownership of a raw descriptor (-1 = empty).
+  explicit Fd(int fd) : fd_(fd) {}
+  /// Closes the held descriptor, if any.
+  ~Fd() { reset(); }
+  /// Moves transfer ownership; the source becomes empty.
+  Fd(Fd&& o) noexcept : fd_(o.fd_) { o.fd_ = -1; }
+  Fd& operator=(Fd&& o) noexcept {
+    if (this != &o) {
+      reset(o.fd_);
+      o.fd_ = -1;
+    }
+    return *this;
+  }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+
+  /// The raw descriptor (-1 when empty).
+  int get() const { return fd_; }
+  /// Is a descriptor held?
+  bool valid() const { return fd_ >= 0; }
+  /// Close the held descriptor (if any) and adopt `fd`.
+  void reset(int fd = -1);
+  /// Give up ownership without closing; returns the raw descriptor.
+  int release() {
+    int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+/// Listening TCP socket on 127.0.0.1:`port` (port 0 = ephemeral,
+/// resolve it with local_port()). SO_REUSEADDR is set so tests can
+/// rebind promptly. Invalid Fd on failure.
+Fd tcp_listen(uint16_t port, int backlog = 64);
+
+/// Blocking TCP connect to `host`:`port` (numeric or resolvable name).
+/// TCP_NODELAY is set — frames are latency-sensitive and self-framed.
+/// Invalid Fd on failure.
+Fd tcp_connect(const std::string& host, uint16_t port);
+
+/// The locally-bound port of a socket (0 on failure) — how a
+/// tcp_listen(0) caller learns its ephemeral port.
+uint16_t local_port(int fd);
+
+/// Switch O_NONBLOCK on or off; false on fcntl failure.
+bool set_nonblocking(int fd, bool on);
+
+/// Send the whole buffer on a BLOCKING socket, retrying short writes
+/// and EINTR. False on any error or peer close (MSG_NOSIGNAL: no
+/// SIGPIPE).
+bool send_all(int fd, const void* data, size_t n);
+
+/// One recv() of up to `n` bytes, retrying EINTR: >0 bytes read, 0 on
+/// orderly peer close, -1 on error (including EAGAIN on a nonblocking
+/// socket — callers poll first).
+long recv_some(int fd, void* buf, size_t n);
+
+/// Self-wake pipe for poll() loops: other threads wake() it, the loop
+/// polls read_fd() and drain()s on readiness. Nonblocking on both
+/// ends; wake() is cheap and safe from any thread.
+class WakePipe {
+ public:
+  /// Creates the pipe (aborts the process on resource exhaustion —
+  /// this is boot-time plumbing, not a recoverable path).
+  WakePipe();
+
+  /// The readable end — what the poll loop watches.
+  int read_fd() const { return r_.get(); }
+  /// Make read_fd() readable. Coalesces: many wakes, one drain.
+  void wake();
+  /// Consume every pending wake byte (call on POLLIN).
+  void drain();
+
+ private:
+  Fd r_, w_;
+};
+
+}  // namespace dynsld::net

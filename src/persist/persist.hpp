@@ -118,6 +118,10 @@ class PersistenceManager {
   void unseed_live(uint64_t ticket) { live_.erase(ticket); }
   /// The checkpoint epoch the cadence counts from.
   void set_last_checkpoint(uint64_t epoch) { last_checkpoint_epoch_ = epoch; }
+  /// Epoch of the newest durable checkpoint (0 = none yet). Flush-lock
+  /// domain; the replication source reads it from the publish tap to
+  /// notice cadence checkpoints and prune its record ring.
+  uint64_t last_checkpoint() const { return last_checkpoint_epoch_; }
   /// Resume appending to the (already truncated) newest segment.
   bool resume_segment(const std::string& name) {
     return wal_.open_existing(name);

@@ -16,6 +16,41 @@ constexpr char kMagic[8] = {'D', 'S', 'L', 'D', 'W', 'A', 'L', '1'};
 constexpr uint32_t kVersion = 1;
 constexpr size_t kHeaderBytes = sizeof(kMagic) + 4;
 
+// Decode one record payload (the bytes after the len/crc frame, CRC
+// already verified). False when the payload is short, malformed, or
+// longer than its contents — shared by scan() and decode_record() so a
+// replica applies streamed records with exactly recovery's validation.
+bool parse_payload(const char* payload, uint32_t len, WalRecord* out) {
+  ByteReader r(payload, len);
+  out->epoch = r.u64();
+  uint32_t n_ins = r.u32();
+  uint32_t n_ers = r.u32();
+  // Count sanity BEFORE reserving: the counts must exactly account for
+  // the payload length (24 B per insert, 16 B per erase, 16 B header),
+  // so a crafted frame cannot force a multi-gigabyte reserve.
+  if (!r.ok() ||
+      uint64_t(n_ins) * 24 + uint64_t(n_ers) * 16 + 16 != uint64_t(len))
+    return false;
+  out->batch.inserts.reserve(n_ins);
+  out->batch.erases.reserve(n_ers);
+  for (uint32_t i = 0; i < n_ins; ++i) {
+    engine::MutationQueue::InsertOp op;
+    op.ticket = r.u64();
+    op.u = r.u32();
+    op.v = r.u32();
+    op.w = r.f64();
+    out->batch.inserts.push_back(op);
+  }
+  for (uint32_t i = 0; i < n_ers; ++i) {
+    engine::MutationQueue::EraseOp op;
+    op.ticket = r.u64();
+    op.u = r.u32();
+    op.v = r.u32();
+    out->batch.erases.push_back(op);
+  }
+  return r.ok() && r.remaining() == 0;
+}
+
 }  // namespace
 
 WalWriter::WalWriter(std::shared_ptr<FileBackend> backend, PersistOptions opts,
@@ -195,35 +230,25 @@ WalReader::Scan WalReader::scan(const std::string& bytes) {
     if (bytes.size() - off - 8 < len) break;
     const char* payload = bytes.data() + off + 8;
     if (crc32c(payload, len) != crc) break;
-    ByteReader r(payload, len);
     WalRecord rec;
-    rec.epoch = r.u64();
-    uint32_t n_ins = r.u32();
-    uint32_t n_ers = r.u32();
-    rec.batch.inserts.reserve(n_ins);
-    rec.batch.erases.reserve(n_ers);
-    for (uint32_t i = 0; i < n_ins; ++i) {
-      engine::MutationQueue::InsertOp op;
-      op.ticket = r.u64();
-      op.u = r.u32();
-      op.v = r.u32();
-      op.w = r.f64();
-      rec.batch.inserts.push_back(op);
-    }
-    for (uint32_t i = 0; i < n_ers; ++i) {
-      engine::MutationQueue::EraseOp op;
-      op.ticket = r.u64();
-      op.u = r.u32();
-      op.v = r.u32();
-      rec.batch.erases.push_back(op);
-    }
-    if (!r.ok() || r.remaining() != 0) break;  // payload/CRC length lie
+    if (!parse_payload(payload, len, &rec)) break;  // payload/CRC length lie
     s.records.push_back(std::move(rec));
     off += 8 + len;
   }
   s.valid_bytes = off;
   s.torn = off != bytes.size();
   return s;
+}
+
+bool WalReader::decode_record(const std::string& bytes, WalRecord* out) {
+  if (bytes.size() < 8) return false;
+  ByteReader frame(bytes.data(), 8);
+  uint32_t len = frame.u32();
+  uint32_t crc = frame.u32();
+  if (bytes.size() - 8 != len) return false;  // exactly one record
+  const char* payload = bytes.data() + 8;
+  if (crc32c(payload, len) != crc) return false;
+  return parse_payload(payload, len, out);
 }
 
 }  // namespace dynsld::persist

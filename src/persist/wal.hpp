@@ -139,6 +139,12 @@ class WalReader {
                                  uint64_t* first_epoch);
   /// Scan a whole segment's bytes (see Scan).
   static Scan scan(const std::string& bytes);
+  /// Decode ONE framed record (u32 len + u32 crc32c + payload — the
+  /// exact bytes WalWriter::encode_record produced, without any segment
+  /// header). False on truncation, checksum mismatch, or trailing
+  /// bytes. The replication stream ships records in this framing, so a
+  /// replica applies them with the same validation as recovery.
+  static bool decode_record(const std::string& bytes, WalRecord* out);
 };
 
 }  // namespace dynsld::persist

@@ -3,8 +3,8 @@
 
 Two checks, both enforced by CI (and runnable locally from anywhere):
 
-  1. Public-API comment coverage over src/engine/*.hpp and
-     src/obs/*.hpp.
+  1. Public-API comment coverage over src/engine/*.hpp,
+     src/net/*.hpp, src/obs/*.hpp and src/persist/*.hpp.
      Every *public declaration* — a namespace-scope class / struct /
      enum / using / free function, or a public member function — must
      carry a comment block: the declaration, or the contiguous run of
@@ -34,7 +34,8 @@ import sys
 
 ROOT = pathlib.Path(__file__).resolve().parent.parent
 
-HEADER_GLOBS = ["src/engine/*.hpp", "src/obs/*.hpp", "src/persist/*.hpp"]
+HEADER_GLOBS = ["src/engine/*.hpp", "src/net/*.hpp", "src/obs/*.hpp",
+                "src/persist/*.hpp"]
 DOC_FILES = ["README.md", "docs/*.md"]
 
 EXEMPT_DECL = re.compile(r"=\s*(default|delete)\s*;")

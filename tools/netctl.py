@@ -1,0 +1,250 @@
+#!/usr/bin/env python3
+"""Talk to a running dynsld RpcServer from the command line.
+
+A tiny pure-python client for the wire protocol in src/net/protocol.hpp
+(full byte tables in docs/NETWORK.md): 16-byte frames — magic "DSN1",
+version, type, payload length, CRC-32C chained over the type byte and
+payload — carrying hello/query/result messages. Used by the CI loopback
+smoke job to drive a server process and compare its answers with a
+direct library run.
+
+Usage:
+
+  python3 tools/netctl.py ping HOST:PORT
+      Handshake + kPing/kPong round trip. Prints the ack as JSON
+      ({"epoch": ..., "num_vertices": ..., "num_shards": ...}).
+
+  python3 tools/netctl.py epoch HOST:PORT
+      Print the server's epoch at connect time (from the hello ack).
+
+  python3 tools/netctl.py query HOST:PORT [--num-clusters TAU]
+      [--histogram TAU] [--cluster-size U TAU] [--same-cluster U V TAU]
+      [--members U TAU] [--labels TAU]
+      [--at-least-epoch E | --as-of E] [--timeout-ms MS]
+      [--client-id ID] [--weight W]
+      Send one QueryRequest carrying every query given (repeatable,
+      order preserved) and print the ResultSet as JSON:
+      {"epoch": E, "results": [...]}. Query errors print
+      {"error": "<code>"} and exit 3; transport failures exit 2.
+"""
+
+import argparse
+import json
+import socket
+import struct
+import sys
+
+MAGIC = 0x314E5344  # "DSN1"
+VERSION = 1
+HEADER = struct.Struct("<IBBBBII")
+MAX_FRAME = 64 << 20
+
+T_HELLO, T_HELLO_ACK, T_QUERY, T_RESULT, T_ERROR, T_PING, T_PONG = range(1, 8)
+
+CONS_LATEST, CONS_AT_LEAST_EPOCH, CONS_AS_OF = 0, 1, 2
+NO_TIMEOUT = 0xFFFFFFFF
+Q_SAME_CLUSTER, Q_CLUSTER_SIZE, Q_CLUSTER_REPORT = 0, 1, 2
+Q_FLAT_CLUSTERING, Q_SIZE_HISTOGRAM, Q_NUM_CLUSTERS = 3, 4, 5
+R_BOOL, R_U64, R_VERTEX_VEC, R_HISTOGRAM = 0, 1, 2, 3
+ERROR_NAMES = [
+    "deadline_exceeded", "cancelled", "admission_rejected", "shutdown",
+    "epoch_unavailable",
+]
+
+# CRC-32C (Castagnoli, reflected poly 0x82F63B78), matching
+# src/persist/crc32c.hpp bit for bit.
+_TABLE = []
+for _n in range(256):
+    _c = _n
+    for _ in range(8):
+        _c = (_c >> 1) ^ 0x82F63B78 if _c & 1 else _c >> 1
+    _TABLE.append(_c)
+
+
+def crc32c(data, seed=0):
+    crc = seed ^ 0xFFFFFFFF
+    for b in data:
+        crc = _TABLE[(crc ^ b) & 0xFF] ^ (crc >> 8)
+    return crc ^ 0xFFFFFFFF
+
+
+def frame_crc(mtype, payload):
+    return crc32c(payload, crc32c(bytes([mtype])))
+
+
+def encode_frame(mtype, payload):
+    return HEADER.pack(MAGIC, VERSION, mtype, 0, 0, len(payload),
+                       frame_crc(mtype, payload)) + payload
+
+
+def read_exact(sock, n):
+    buf = b""
+    while len(buf) < n:
+        chunk = sock.recv(n - len(buf))
+        if not chunk:
+            raise ConnectionError("peer closed mid-frame")
+        buf += chunk
+    return buf
+
+
+def read_frame(sock):
+    magic, version, mtype, _, _, length, crc = HEADER.unpack(
+        read_exact(sock, HEADER.size))
+    if magic != MAGIC or version != VERSION or length > MAX_FRAME:
+        raise ConnectionError("malformed frame header")
+    payload = read_exact(sock, length)
+    if frame_crc(mtype, payload) != crc:
+        raise ConnectionError("frame CRC mismatch")
+    return mtype, payload
+
+
+def connect(target, client_id=0, weight=1):
+    host, _, port = target.rpartition(":")
+    sock = socket.create_connection((host, int(port)), timeout=30)
+    sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    hello = struct.pack("<QIB", client_id, weight, 0)  # role 0 = client
+    sock.sendall(encode_frame(T_HELLO, hello))
+    mtype, payload = read_frame(sock)
+    if mtype != T_HELLO_ACK:
+        raise ConnectionError("expected hello ack, got type %d" % mtype)
+    epoch, num_vertices, num_shards = struct.unpack("<QII", payload)
+    return sock, {"epoch": epoch, "num_vertices": num_vertices,
+                  "num_shards": num_shards}
+
+
+def decode_results(payload):
+    (req_id, epoch, n) = struct.unpack_from("<QQI", payload)
+    off = 20
+    results = []
+    for _ in range(n):
+        kind = payload[off]
+        off += 1
+        if kind == R_BOOL:
+            results.append(bool(payload[off]))
+            off += 1
+        elif kind == R_U64:
+            (v,) = struct.unpack_from("<Q", payload, off)
+            results.append(v)
+            off += 8
+        elif kind == R_VERTEX_VEC:
+            (count,) = struct.unpack_from("<Q", payload, off)
+            off += 8
+            results.append(list(struct.unpack_from("<%dI" % count, payload,
+                                                   off)))
+            off += 4 * count
+        elif kind == R_HISTOGRAM:
+            (bins,) = struct.unpack_from("<Q", payload, off)
+            off += 8
+            hist = []
+            for _b in range(bins):
+                size, cnt = struct.unpack_from("<QQ", payload, off)
+                off += 16
+                hist.append([size, cnt])
+            results.append(hist)
+        else:
+            raise ConnectionError("unknown result kind %d" % kind)
+    return req_id, epoch, results
+
+
+def build_query_payload(args):
+    w = bytearray()
+    w += struct.pack("<Q", 1)  # request id
+    if args.at_least_epoch is not None:
+        w += struct.pack("<BQ", CONS_AT_LEAST_EPOCH, args.at_least_epoch)
+    elif args.as_of is not None:
+        w += struct.pack("<BQ", CONS_AS_OF, args.as_of)
+    else:
+        w += struct.pack("<BQ", CONS_LATEST, 0)
+    w += struct.pack("<I", args.timeout_ms if args.timeout_ms is not None
+                     else NO_TIMEOUT)
+    w += struct.pack("<I", len(args.ordered_queries))
+    for kind, params in args.ordered_queries:
+        if kind == Q_SAME_CLUSTER:
+            w += struct.pack("<BIId", kind, int(params[0]), int(params[1]),
+                             float(params[2]))
+        elif kind in (Q_CLUSTER_SIZE, Q_CLUSTER_REPORT):
+            w += struct.pack("<BId", kind, int(params[0]), float(params[1]))
+        else:
+            w += struct.pack("<Bd", kind, float(params[0]))
+    return bytes(w)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = ap.add_subparsers(dest="cmd", required=True)
+
+    p_ping = sub.add_parser("ping")
+    p_ping.add_argument("target")
+    p_epoch = sub.add_parser("epoch")
+    p_epoch.add_argument("target")
+
+    p_query = sub.add_parser("query")
+    p_query.add_argument("target")
+    p_query.add_argument("--num-clusters", action="append", nargs=1,
+                         metavar="TAU")
+    p_query.add_argument("--histogram", action="append", nargs=1,
+                         metavar="TAU")
+    p_query.add_argument("--labels", action="append", nargs=1, metavar="TAU")
+    p_query.add_argument("--cluster-size", action="append", nargs=2,
+                         metavar=("U", "TAU"))
+    p_query.add_argument("--members", action="append", nargs=2,
+                         metavar=("U", "TAU"))
+    p_query.add_argument("--same-cluster", action="append", nargs=3,
+                         metavar=("U", "V", "TAU"))
+    p_query.add_argument("--at-least-epoch", type=int)
+    p_query.add_argument("--as-of", type=int)
+    p_query.add_argument("--timeout-ms", type=int)
+    p_query.add_argument("--client-id", type=int, default=0)
+    p_query.add_argument("--weight", type=int, default=1)
+    args = ap.parse_args()
+
+    try:
+        if args.cmd in ("ping", "epoch"):
+            sock, ack = connect(args.target)
+            if args.cmd == "ping":
+                sock.sendall(encode_frame(T_PING, b""))
+                mtype, _ = read_frame(sock)
+                if mtype != T_PONG:
+                    raise ConnectionError("expected pong, got %d" % mtype)
+                print(json.dumps(ack))
+            else:
+                print(ack["epoch"])
+            sock.close()
+            return 0
+
+        queries = []
+        for flag, kind in [("num_clusters", Q_NUM_CLUSTERS),
+                           ("histogram", Q_SIZE_HISTOGRAM),
+                           ("labels", Q_FLAT_CLUSTERING),
+                           ("cluster_size", Q_CLUSTER_SIZE),
+                           ("members", Q_CLUSTER_REPORT),
+                           ("same_cluster", Q_SAME_CLUSTER)]:
+            for params in getattr(args, flag) or []:
+                queries.append((kind, params))
+        if not queries:
+            print("query: give at least one query flag", file=sys.stderr)
+            return 2
+        args.ordered_queries = queries
+        sock, _ = connect(args.target, args.client_id, args.weight)
+        sock.sendall(encode_frame(T_QUERY, build_query_payload(args)))
+        mtype, payload = read_frame(sock)
+        sock.close()
+        if mtype == T_ERROR:
+            (_, code) = struct.unpack("<QB", payload)
+            name = (ERROR_NAMES[code] if code < len(ERROR_NAMES)
+                    else "code_%d" % code)
+            print(json.dumps({"error": name}))
+            return 3
+        if mtype != T_RESULT:
+            raise ConnectionError("expected result, got type %d" % mtype)
+        _, epoch, results = decode_results(payload)
+        print(json.dumps({"epoch": epoch, "results": results}))
+        return 0
+    except (OSError, ConnectionError, struct.error) as e:
+        print("netctl: %s" % e, file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())
